@@ -1,0 +1,143 @@
+// Command perfbench regenerates every table and figure of the paper's
+// motivation and evaluation sections and prints them as aligned tables
+// (or CSV). The full suite at paper scale takes a few minutes; pass
+// -quick for a scaled-down run, or -fig to select one experiment.
+//
+// Usage:
+//
+//	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"perfcloud/internal/experiments"
+	"perfcloud/internal/stats"
+	"perfcloud/internal/trace"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (all, 1-7, 9-12, ablations, extensions)")
+	seed := flag.Int64("seed", 42, "master random seed")
+	quick := flag.Bool("quick", false, "scaled-down large experiments")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	timelines := flag.String("timelines", "", "directory to write raw time-series CSVs (Figs 3, 9, 10)")
+	flag.Parse()
+	if *timelines != "" {
+		if err := os.MkdirAll(*timelines, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+	}
+	writeSeries := func(name string, names []string, series []*stats.TimeSeries) {
+		if *timelines == "" {
+			return
+		}
+		path := filepath.Join(*timelines, name)
+		if err := os.WriteFile(path, []byte(trace.SeriesCSV(names, series)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "perfbench: wrote", path)
+	}
+
+	emit := func(t *trace.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+	start := time.Now()
+
+	if want("1") {
+		emit(experiments.Fig1(*seed).Table())
+	}
+	if want("2") {
+		emit(experiments.Fig2(*seed).Table())
+	}
+	if want("3") {
+		r := experiments.Fig3(*seed)
+		emit(r.Table())
+		writeSeries("fig3_iowait_deviation.csv",
+			[]string{"alone", "with_fio"},
+			[]*stats.TimeSeries{r.Alone.Iowait, r.WithFio.Iowait})
+	}
+	if want("4") {
+		emit(experiments.Fig4(*seed).Table())
+	}
+	if want("5") {
+		emit(experiments.Fig5(*seed).Table())
+	}
+	if want("6") {
+		emit(experiments.Fig6(*seed).Table())
+	}
+	if want("7") {
+		emit(experiments.Fig7().Table())
+	}
+	var fig9 *experiments.Fig9Result
+	if want("9") || want("10") {
+		r := experiments.Fig9(*seed)
+		fig9 = &r
+	}
+	if want("9") {
+		emit(fig9.Table())
+		def, pc := fig9.Arm("default"), fig9.Arm("perfcloud")
+		writeSeries("fig9_deviations.csv",
+			[]string{"default_iowait_dev", "perfcloud_iowait_dev", "default_cpi_dev", "perfcloud_cpi_dev"},
+			[]*stats.TimeSeries{def.Iowait, pc.Iowait, def.CPI, pc.CPI})
+	}
+	if want("10") {
+		r10 := experiments.Fig10(fig9.Arm("perfcloud"))
+		emit(r10.Table())
+		writeSeries("fig10_caps.csv",
+			[]string{"fio_iops_cap", "stream_core_cap"},
+			[]*stats.TimeSeries{r10.FioCap, r10.StreamCap})
+	}
+	if want("11") {
+		cfg := experiments.DefaultLargeScaleConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Servers, cfg.WorkersPerServer = 5, 8
+			cfg.NumMR, cfg.NumSpark = 20, 20
+			cfg.Fio, cfg.Streams = 4, 4
+		}
+		emit(experiments.Fig11With(cfg, []experiments.Scheme{
+			experiments.SchemeLATE(),
+			experiments.SchemeDolly(2),
+			experiments.SchemeDolly(4),
+			experiments.SchemeDolly(6),
+			experiments.SchemePerfCloud(),
+		}).Table())
+	}
+	if want("12") {
+		cfg := experiments.DefaultVariabilityConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Servers, cfg.WorkersPerServer = 5, 8
+			cfg.Runs, cfg.Tasks = 8, 20
+			cfg.Fio, cfg.Streams = 4, 4
+		}
+		emit(experiments.Fig12With(cfg, []experiments.Scheme{
+			experiments.SchemeLATE(),
+			experiments.SchemeDolly(2),
+			experiments.SchemePerfCloud(),
+		}).Table())
+	}
+	if want("ablations") {
+		emit(experiments.AblationDetector(*seed).Table())
+		emit(experiments.AblationPearson(*seed).Table())
+		emit(experiments.AblationControl(*seed).Table())
+		emit(experiments.AblationEWMA(*seed).Table())
+	}
+	if want("extensions") {
+		emit(experiments.Heterogeneous(*seed).Table())
+		emit(experiments.Migration(*seed).Table())
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

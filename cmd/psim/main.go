@@ -1,0 +1,154 @@
+// Command psim runs a configurable PerfCloud testbed scenario and prints
+// job completions plus a per-interval control summary. It is the
+// interactive counterpart of the bench harness: one cluster, one workload
+// stream, a chosen mitigation scheme.
+//
+// Usage:
+//
+//	psim [-servers N] [-workers N] [-scheme default|late|dolly-2|dolly-4|perfcloud]
+//	     [-workload terasort|wordcount|inverted-index|spark-logreg|spark-pagerank|spark-svm]
+//	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"perfcloud/internal/experiments"
+	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/spark"
+	"perfcloud/internal/straggler"
+	"perfcloud/internal/workloads"
+)
+
+func main() {
+	servers := flag.Int("servers", 1, "physical servers")
+	workers := flag.Int("workers", 6, "worker VMs per server")
+	scheme := flag.String("scheme", "perfcloud", "mitigation scheme: default|late|dolly-2|dolly-4|perfcloud|hybrid")
+	workload := flag.String("workload", "terasort", "benchmark to run")
+	jobs := flag.Int("jobs", 3, "number of jobs to run back-to-back")
+	nfio := flag.Int("fio", 1, "fio antagonist VMs")
+	nstream := flag.Int("streams", 1, "STREAM antagonist VMs")
+	seed := flag.Int64("seed", 42, "random seed")
+	verbose := flag.Bool("v", false, "print every control interval")
+	flag.Parse()
+
+	cfg := experiments.TestbedConfig{
+		Seed:             *seed,
+		Servers:          *servers,
+		WorkersPerServer: *workers,
+	}
+	var dolly int
+	switch *scheme {
+	case "default":
+	case "late":
+		cfg.Speculator = straggler.NewLATE()
+	case "dolly-2":
+		dolly = 2
+	case "dolly-4":
+		dolly = 4
+	case "perfcloud":
+		cfg.PerfCloud = experiments.ControllerConfig()
+	case "hybrid":
+		cfg.Speculator = straggler.NewLATE()
+		cfg.PerfCloud = experiments.ControllerConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "psim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	tb := experiments.NewTestbed(cfg)
+	tb.MustInput("input", 640<<20)
+	for i := 0; i < *nfio; i++ {
+		tb.AddAntagonist(i%*servers, workloads.NewFioRandRead(
+			workloads.BurstPattern{On: 20 * time.Second, Off: 10 * time.Second}))
+	}
+	for i := 0; i < *nstream; i++ {
+		tb.AddAntagonist(i%*servers, workloads.NewStream(
+			workloads.BurstPattern{On: 25 * time.Second, Off: 10 * time.Second}))
+	}
+
+	spawn := func() straggler.Clone {
+		now := tb.Eng.Clock().Seconds()
+		switch *workload {
+		case "terasort":
+			return mustMR(tb.JT.Submit(mapreduce.Terasort("input", 10), now))
+		case "wordcount":
+			return mustMR(tb.JT.Submit(mapreduce.Wordcount("input", 10), now))
+		case "inverted-index":
+			return mustMR(tb.JT.Submit(mapreduce.InvertedIndex("input", 10), now))
+		case "spark-logreg":
+			return mustSpark(tb.Driver.Submit(spark.LogisticRegression(10, 4, 640<<20), now))
+		case "spark-pagerank":
+			return mustSpark(tb.Driver.Submit(spark.PageRank(10, 3, 640<<20), now))
+		case "spark-svm":
+			return mustSpark(tb.Driver.Submit(spark.SVM(10, 3, 640<<20), now))
+		}
+		fmt.Fprintf(os.Stderr, "psim: unknown workload %q\n", *workload)
+		os.Exit(2)
+		return nil
+	}
+
+	for i := 0; i < *jobs; i++ {
+		var watch func() bool
+		if dolly > 1 {
+			clones := make([]straggler.Clone, dolly)
+			for c := range clones {
+				clones[c] = spawn()
+			}
+			g := tb.Dolly.Watch(fmt.Sprintf("job-%d", i), clones...)
+			watch = g.Done
+			if !tb.Eng.RunUntil(watch, time.Hour) {
+				fmt.Fprintln(os.Stderr, "psim: job did not finish")
+				os.Exit(1)
+			}
+			fmt.Printf("[%7.1fs] job %d done: JCT %.1fs (winner of %d clones)\n",
+				tb.Eng.Clock().Seconds(), i, g.JCT(), dolly)
+			continue
+		}
+		c := spawn()
+		if !tb.Eng.RunUntil(c.Done, time.Hour) {
+			fmt.Fprintln(os.Stderr, "psim: job did not finish")
+			os.Exit(1)
+		}
+		fmt.Printf("[%7.1fs] job %d done: JCT %.1fs\n", tb.Eng.Clock().Seconds(), i, c.JCT())
+	}
+
+	if tb.Sys != nil {
+		for _, nm := range tb.Sys.Managers() {
+			throttles, detections := 0, 0
+			for _, e := range nm.Trace() {
+				if e.IOContention || e.CPUContention {
+					detections++
+				}
+				if len(e.IOCaps)+len(e.CPUCaps) > 0 {
+					throttles++
+				}
+				if *verbose {
+					fmt.Printf("  [%s t=%5.0f] iowaitDev=%.1f cpiDev=%.2f ioAnt=%v cpuAnt=%v\n",
+						nm.ServerID(), e.TimeSec, e.IowaitDev, e.CPIDev, e.IOAntagonists, e.CPUAntagonists)
+				}
+			}
+			fmt.Printf("%s: %d control intervals, %d with contention, %d with caps in force\n",
+				nm.ServerID(), len(nm.Trace()), detections, throttles)
+		}
+	}
+}
+
+func mustMR(j *mapreduce.Job, err error) straggler.Clone {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psim:", err)
+		os.Exit(1)
+	}
+	return j
+}
+
+func mustSpark(a *spark.App, err error) straggler.Clone {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psim:", err)
+		os.Exit(1)
+	}
+	return a
+}

@@ -1,0 +1,13 @@
+// Package perfcloud reproduces "Performance Isolation of Data-Intensive
+// Scale-out Applications in a Multi-tenant Cloud" (Lama, Wang, Zhou,
+// Cheng — IPPS 2018) as a self-contained Go library: the PerfCloud
+// system (internal/core) plus every substrate its evaluation depends on
+// — a discrete-time cluster simulator with cgroup/perf-counter surfaces,
+// a libvirt-like hypervisor facade, a Nova-like cloud manager, HDFS-like
+// storage, MapReduce and Spark framework simulators, the fio/STREAM/
+// sysbench antagonist benchmarks, and the LATE and Dolly baselines.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and bench_test.go for
+// the harness that regenerates every table and figure.
+package perfcloud

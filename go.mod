@@ -1,0 +1,3 @@
+module perfcloud
+
+go 1.22

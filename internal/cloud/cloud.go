@@ -1,0 +1,231 @@
+// Package cloud is the OpenStack-Nova-like cloud manager of the
+// reproduction: the authority on VM placement, instance priority and
+// application membership. PerfCloud's node managers periodically query it
+// (as the paper's agents do through the Nova API) to learn which VMs on
+// their server are high priority and which high-priority VMs form one
+// scale-out application — staying current across VM arrivals, departures
+// and migrations (§III-D2, Algorithm 1).
+package cloud
+
+import (
+	"fmt"
+	"sort"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/sim"
+)
+
+// VMSpec describes an instance to boot.
+type VMSpec struct {
+	Name     string
+	VCPUs    float64
+	MemBytes float64
+	Priority cluster.Priority
+	AppID    string // "" for standalone VMs
+	ServerID string // "" lets the scheduler pick the least-loaded server
+}
+
+// VMInfo is what the cloud manager tells node managers about a VM.
+type VMInfo struct {
+	ID       string
+	Priority cluster.Priority
+	AppID    string
+	ServerID string
+}
+
+// Manager tracks placement over a cluster.
+type Manager struct {
+	cluster *cluster.Cluster
+	rng     *sim.RNG
+	defCfg  cluster.ServerConfig
+	nextSrv int
+}
+
+// NewManager creates a cloud manager over an (initially empty) cluster.
+func NewManager(c *cluster.Cluster, rng *sim.RNG) *Manager {
+	return &Manager{cluster: c, rng: rng, defCfg: cluster.DefaultServerConfig()}
+}
+
+// Cluster returns the managed cluster.
+func (m *Manager) Cluster() *cluster.Cluster { return m.cluster }
+
+// SetDefaultServerConfig overrides the config used by ProvisionServers.
+func (m *Manager) SetDefaultServerConfig(cfg cluster.ServerConfig) { m.defCfg = cfg }
+
+// ProvisionServers adds n bare-metal servers with the default config and
+// returns them, naming them server-<k> with a monotonically increasing k.
+func (m *Manager) ProvisionServers(n int) []*cluster.Server {
+	return m.ProvisionServersWith(n, m.defCfg)
+}
+
+// ProvisionServersWith adds n servers with an explicit hardware config —
+// heterogeneous fleets mix calls with different configs.
+func (m *Manager) ProvisionServersWith(n int, cfg cluster.ServerConfig) []*cluster.Server {
+	out := make([]*cluster.Server, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("server-%d", m.nextSrv)
+		m.nextSrv++
+		out = append(out, m.cluster.AddServer(id, cfg, m.rng))
+	}
+	return out
+}
+
+// Boot creates a VM per spec. With an empty ServerID the scheduler picks
+// the server with the fewest placed vcpus (a simple spread placement,
+// matching how the paper's testbed distributes Hadoop VMs).
+func (m *Manager) Boot(spec VMSpec) (*cluster.VM, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("cloud: VM spec needs a name")
+	}
+	if m.cluster.FindVM(spec.Name) != nil {
+		return nil, fmt.Errorf("cloud: VM %q already exists", spec.Name)
+	}
+	var srv *cluster.Server
+	if spec.ServerID != "" {
+		srv = m.cluster.FindServer(spec.ServerID)
+		if srv == nil {
+			return nil, fmt.Errorf("cloud: no server %q", spec.ServerID)
+		}
+	} else {
+		srv = m.leastLoaded()
+		if srv == nil {
+			return nil, fmt.Errorf("cloud: no servers provisioned")
+		}
+	}
+	vcpus := spec.VCPUs
+	if vcpus == 0 {
+		vcpus = 2
+	}
+	mem := spec.MemBytes
+	if mem == 0 {
+		mem = 8 << 30
+	}
+	return m.cluster.AddVM(srv, spec.Name, vcpus, mem, spec.Priority, spec.AppID), nil
+}
+
+// Terminate removes a VM from the cloud. Unknown ids are a no-op, so
+// idempotent teardown in experiments is cheap.
+func (m *Manager) Terminate(id string) { m.cluster.RemoveVM(id) }
+
+// leastLoaded returns the server with the fewest placed vcpus.
+func (m *Manager) leastLoaded() *cluster.Server {
+	var best *cluster.Server
+	bestLoad := -1.0
+	for _, s := range m.cluster.Servers() {
+		var load float64
+		for _, v := range s.VMs() {
+			load += v.VCPUs()
+		}
+		if best == nil || load < bestLoad {
+			best, bestLoad = s, load
+		}
+	}
+	return best
+}
+
+// VMsOnServer answers the node manager's periodic query: every VM hosted
+// on the given server with its priority and application membership.
+func (m *Manager) VMsOnServer(serverID string) ([]VMInfo, error) {
+	srv := m.cluster.FindServer(serverID)
+	if srv == nil {
+		return nil, fmt.Errorf("cloud: no server %q", serverID)
+	}
+	vms := srv.VMs()
+	out := make([]VMInfo, len(vms))
+	for i, v := range vms {
+		out[i] = VMInfo{ID: v.ID(), Priority: v.Priority(), AppID: v.AppID(), ServerID: serverID}
+	}
+	return out, nil
+}
+
+// HighPriorityApps groups the high-priority VMs on a server by
+// application id, sorted for deterministic iteration.
+func (m *Manager) HighPriorityApps(serverID string) (map[string][]string, error) {
+	infos, err := m.VMsOnServer(serverID)
+	if err != nil {
+		return nil, err
+	}
+	apps := make(map[string][]string)
+	for _, in := range infos {
+		if in.Priority == cluster.HighPriority && in.AppID != "" {
+			apps[in.AppID] = append(apps[in.AppID], in.ID)
+		}
+	}
+	for id := range apps {
+		sort.Strings(apps[id])
+	}
+	return apps, nil
+}
+
+// LowPriorityVMs returns the ids of low-priority VMs on a server, sorted.
+func (m *Manager) LowPriorityVMs(serverID string) ([]string, error) {
+	infos, err := m.VMsOnServer(serverID)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, in := range infos {
+		if in.Priority == cluster.LowPriority {
+			out = append(out, in.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Migrate live-migrates a VM to another server, preserving its identity
+// (cgroup, caps, workload, framework references). The paper lists
+// migration as the cloud manager's complement to node-level throttling
+// when multiple high-priority apps collide (§III-D2, §IV-D2).
+func (m *Manager) Migrate(vmID, toServerID string) error {
+	if err := m.cluster.MoveVM(vmID, toServerID); err != nil {
+		return fmt.Errorf("cloud: %w", err)
+	}
+	return nil
+}
+
+// RebalanceHighPriority handles a node manager's escalation: when two or
+// more high-priority applications collide on one server and throttling
+// low-priority VMs cannot help, move one VM of the smaller colocated app
+// to the server currently hosting the fewest vcpus. It returns the id of
+// the migrated VM ("" if nothing could be improved).
+func (m *Manager) RebalanceHighPriority(serverID string) (string, error) {
+	apps, err := m.HighPriorityApps(serverID)
+	if err != nil {
+		return "", err
+	}
+	if len(apps) < 2 {
+		return "", nil
+	}
+	// Pick the app with the fewest VMs on this server (cheapest to move),
+	// deterministically by name on ties.
+	var pick string
+	for id, vms := range apps {
+		if pick == "" || len(vms) < len(apps[pick]) || (len(vms) == len(apps[pick]) && id < pick) {
+			pick = id
+		}
+	}
+	src := m.cluster.FindServer(serverID)
+	var dst *cluster.Server
+	bestLoad := -1.0
+	for _, s := range m.cluster.Servers() {
+		if s == src {
+			continue
+		}
+		var load float64
+		for _, v := range s.VMs() {
+			load += v.VCPUs()
+		}
+		if dst == nil || load < bestLoad {
+			dst, bestLoad = s, load
+		}
+	}
+	if dst == nil {
+		return "", nil
+	}
+	vmID := apps[pick][0]
+	if err := m.Migrate(vmID, dst.ID()); err != nil {
+		return "", err
+	}
+	return vmID, nil
+}

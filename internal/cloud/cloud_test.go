@@ -1,0 +1,177 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/sim"
+	"perfcloud/internal/workloads"
+)
+
+func setup(t *testing.T) (*sim.Engine, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(100*time.Millisecond, 1)
+	c := cluster.New()
+	eng.Register(c)
+	return eng, NewManager(c, eng.RNG())
+}
+
+func TestProvisionServers(t *testing.T) {
+	_, m := setup(t)
+	srvs := m.ProvisionServers(3)
+	if len(srvs) != 3 {
+		t.Fatalf("provisioned %d", len(srvs))
+	}
+	if srvs[0].ID() != "server-0" || srvs[2].ID() != "server-2" {
+		t.Errorf("names = %v, %v", srvs[0].ID(), srvs[2].ID())
+	}
+	more := m.ProvisionServers(1)
+	if more[0].ID() != "server-3" {
+		t.Errorf("continued naming = %v", more[0].ID())
+	}
+}
+
+func TestBootExplicitAndSpreadPlacement(t *testing.T) {
+	_, m := setup(t)
+	m.ProvisionServers(2)
+	v, err := m.Boot(VMSpec{Name: "a", ServerID: "server-1", Priority: cluster.HighPriority, AppID: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Server().ID() != "server-1" {
+		t.Errorf("placed on %v", v.Server().ID())
+	}
+	if v.VCPUs() != 2 || v.MemBytes() != 8<<30 {
+		t.Errorf("defaults not applied: %v vcpus, %v mem", v.VCPUs(), v.MemBytes())
+	}
+	// Spread: next boot without ServerID goes to the emptier server-0.
+	b, err := m.Boot(VMSpec{Name: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Server().ID() != "server-0" {
+		t.Errorf("spread placement chose %v, want server-0", b.Server().ID())
+	}
+	// And the one after balances again.
+	c, _ := m.Boot(VMSpec{Name: "c"})
+	d, _ := m.Boot(VMSpec{Name: "d"})
+	if c.Server() == d.Server() {
+		t.Errorf("c and d both on %v", c.Server().ID())
+	}
+}
+
+func TestBootErrors(t *testing.T) {
+	_, m := setup(t)
+	if _, err := m.Boot(VMSpec{Name: "x"}); err == nil {
+		t.Error("no servers: want error")
+	}
+	m.ProvisionServers(1)
+	if _, err := m.Boot(VMSpec{}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if _, err := m.Boot(VMSpec{Name: "x", ServerID: "nope"}); err == nil {
+		t.Error("bad server: want error")
+	}
+	if _, err := m.Boot(VMSpec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Boot(VMSpec{Name: "x"}); err == nil {
+		t.Error("duplicate name: want error")
+	}
+}
+
+func TestVMsOnServerAndGrouping(t *testing.T) {
+	_, m := setup(t)
+	m.ProvisionServers(1)
+	mustBoot(t, m, VMSpec{Name: "h1", ServerID: "server-0", Priority: cluster.HighPriority, AppID: "hadoop"})
+	mustBoot(t, m, VMSpec{Name: "h0", ServerID: "server-0", Priority: cluster.HighPriority, AppID: "hadoop"})
+	mustBoot(t, m, VMSpec{Name: "fio", ServerID: "server-0", Priority: cluster.LowPriority})
+	mustBoot(t, m, VMSpec{Name: "solo", ServerID: "server-0", Priority: cluster.HighPriority})
+
+	infos, err := m.VMsOnServer("server-0")
+	if err != nil || len(infos) != 4 {
+		t.Fatalf("infos = %v, %v", infos, err)
+	}
+	apps, err := m.HighPriorityApps("server-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 {
+		t.Fatalf("apps = %v", apps)
+	}
+	got := apps["hadoop"]
+	if len(got) != 2 || got[0] != "h0" || got[1] != "h1" {
+		t.Errorf("hadoop VMs = %v (want sorted h0,h1)", got)
+	}
+	low, err := m.LowPriorityVMs("server-0")
+	if err != nil || len(low) != 1 || low[0] != "fio" {
+		t.Errorf("low = %v, %v", low, err)
+	}
+	if _, err := m.VMsOnServer("nope"); err == nil {
+		t.Error("unknown server: want error")
+	}
+	if _, err := m.HighPriorityApps("nope"); err == nil {
+		t.Error("unknown server: want error")
+	}
+	if _, err := m.LowPriorityVMs("nope"); err == nil {
+		t.Error("unknown server: want error")
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	_, m := setup(t)
+	m.ProvisionServers(1)
+	mustBoot(t, m, VMSpec{Name: "x"})
+	m.Terminate("x")
+	if m.Cluster().FindVM("x") != nil {
+		t.Error("x should be gone")
+	}
+	m.Terminate("x") // idempotent
+}
+
+func TestMigratePreservesStateAndCaps(t *testing.T) {
+	_, m := setup(t)
+	m.ProvisionServers(2)
+	v := mustBoot(t, m, VMSpec{Name: "x", ServerID: "server-0", Priority: cluster.LowPriority})
+	w := workloads.NewFioRandRead(workloads.AlwaysOn)
+	v.SetWorkload(w)
+	v.Cgroup().SetReadIOPS(1234)
+
+	if err := m.Migrate("x", "server-1"); err != nil {
+		t.Fatal(err)
+	}
+	nv := m.Cluster().FindVM("x")
+	if nv.Server().ID() != "server-1" {
+		t.Errorf("on %v", nv.Server().ID())
+	}
+	if nv.Cgroup().Throttle().ReadIOPS != 1234 {
+		t.Errorf("caps lost: %+v", nv.Cgroup().Throttle())
+	}
+	if nv.Workload() != w {
+		t.Error("workload lost")
+	}
+	if nv.Priority() != cluster.LowPriority {
+		t.Error("priority lost")
+	}
+	// Migrating to the same server is a no-op.
+	if err := m.Migrate("x", "server-1"); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if err := m.Migrate("nope", "server-0"); err == nil {
+		t.Error("unknown VM: want error")
+	}
+	if err := m.Migrate("x", "nope"); err == nil {
+		t.Error("unknown server: want error")
+	}
+}
+
+func mustBoot(t *testing.T, m *Manager, spec VMSpec) *cluster.VM {
+	t.Helper()
+	v, err := m.Boot(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

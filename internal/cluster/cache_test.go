@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewContentCache(1<<20, 60)
+	if c.Has("a", 0) {
+		t.Error("empty cache should miss")
+	}
+	c.Put("a", 1000, 0)
+	if !c.Has("a", 1) {
+		t.Error("want hit")
+	}
+	if c.Len() != 1 || c.UsedBytes() != 1000 {
+		t.Errorf("len=%d used=%v", c.Len(), c.UsedBytes())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewContentCache(1<<20, 10)
+	c.Put("a", 100, 0)
+	if !c.Has("a", 9) {
+		t.Error("should still be fresh at t=9")
+	}
+	// The t=9 hit refreshed recency; expires 10s after that.
+	if !c.Has("a", 18) {
+		t.Error("recency refresh should keep it alive")
+	}
+	if c.Has("a", 40) {
+		t.Error("should have expired")
+	}
+	if c.Len() != 0 {
+		t.Errorf("expired entry should be evicted, len=%d", c.Len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewContentCache(300, 1000)
+	c.Put("a", 100, 0)
+	c.Put("b", 100, 1)
+	c.Put("c", 100, 2)
+	c.Has("a", 3) // refresh a; b is now LRU
+	c.Put("d", 100, 4)
+	if c.Has("b", 5) {
+		t.Error("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Has(k, 5) {
+			t.Errorf("%s should remain", k)
+		}
+	}
+}
+
+func TestCacheOversizedEntryRejected(t *testing.T) {
+	c := NewContentCache(100, 10)
+	c.Put("big", 1000, 0)
+	if c.Has("big", 1) || c.Len() != 0 {
+		t.Error("entry larger than capacity must not be admitted")
+	}
+}
+
+func TestCacheReplaceRefreshesSize(t *testing.T) {
+	c := NewContentCache(1000, 100)
+	c.Put("a", 600, 0)
+	c.Put("a", 200, 1) // replace with smaller
+	if c.UsedBytes() != 200 {
+		t.Errorf("used = %v, want 200", c.UsedBytes())
+	}
+	c.Put("b", 700, 2) // fits alongside the replacement
+	if !c.Has("a", 3) || !c.Has("b", 3) {
+		t.Error("both entries should fit after replacement")
+	}
+}
+
+func TestCachePanicsOnBadConfig(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewContentCache(0, 1) },
+		func() { NewContentCache(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: used bytes never exceed capacity and always equal the sum of
+// the live entries.
+func TestCachePropertyCapacityInvariant(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		c := NewContentCache(10000, 1000)
+		for i, sz := range sizes {
+			c.Put(fmt.Sprintf("k%d", i%8), float64(sz), float64(i))
+			if c.UsedBytes() > 10000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

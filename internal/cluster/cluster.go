@@ -1,0 +1,414 @@
+// Package cluster assembles the simulated testbed: physical servers
+// (each owning a shared disk, CPU scheduler and memory system), the VMs
+// placed on them (each owning a cgroup), and the per-tick resource
+// pipeline that turns workload demand into granted resources and
+// cumulative cgroup/perf counters.
+//
+// The pipeline per server per tick is:
+//
+//  1. every VM's workload declares Demand;
+//  2. the CPU scheduler grants core-seconds (honouring CFS quota caps
+//     from the cgroup — PerfCloud's CPU hard-capping knob);
+//  3. the memory system converts granted CPU into instructions retired,
+//     effective CPI and LLC traffic under shared-cache and bandwidth
+//     contention;
+//  4. the disk grants IOPS/bytes (honouring blkio throttle caps) and
+//     charges queueing delay;
+//  5. cgroup counters accumulate; the workload consumes the Grant.
+//
+// Everything above the pipeline (frameworks, antagonist benchmarks,
+// PerfCloud itself) interacts only through Workload, the cgroup counters
+// and the hypervisor facade, mirroring the black-box VM boundary the
+// paper works within.
+package cluster
+
+import (
+	"fmt"
+
+	"perfcloud/internal/cgroup"
+	"perfcloud/internal/cpu"
+	"perfcloud/internal/disk"
+	"perfcloud/internal/memsys"
+	"perfcloud/internal/sim"
+)
+
+// Priority mirrors the paper's two-level VM priority assigned by the
+// cloud administrator (§I): PerfCloud protects high-priority applications
+// by throttling low-priority antagonists.
+type Priority int
+
+const (
+	// LowPriority VMs may be throttled to protect high-priority ones.
+	LowPriority Priority = iota
+	// HighPriority VMs host the data-intensive scale-out applications.
+	HighPriority
+)
+
+// String returns "high" or "low".
+func (p Priority) String() string {
+	if p == HighPriority {
+		return "high"
+	}
+	return "low"
+}
+
+// Demand is a workload's resource request for one tick.
+type Demand struct {
+	CPUSeconds float64 // core-seconds wanted
+	IOOps      float64 // block I/O operations wanted
+	IOBytes    float64 // block I/O bytes wanted
+
+	// Memory behaviour while executing (see memsys.Request).
+	CoreCPI         float64
+	LLCRefsPerInstr float64
+	BytesPerInstr   float64
+	WorkingSetBytes float64
+}
+
+// Grant is what the pipeline actually delivered for one tick.
+type Grant struct {
+	CPUSeconds   float64
+	Instructions float64
+	CPI          float64
+	IOOps        float64
+	IOBytes      float64
+	IOWaitMs     float64
+	MemBytes     float64
+}
+
+// Workload is implemented by everything that runs inside a VM: antagonist
+// benchmarks and framework task executors. Demand is called once per tick
+// followed by Advance with the granted resources.
+type Workload interface {
+	// Name identifies the workload for logs and traces.
+	Name() string
+	// Demand returns the workload's resource request for a tick of the
+	// given length in seconds.
+	Demand(tickSec float64) Demand
+	// Advance consumes one tick's grant.
+	Advance(tickSec float64, g Grant)
+	// Done reports whether the workload has finished all its work.
+	Done() bool
+}
+
+// VM is one virtual machine: a cgroup, a placement, and (optionally) a
+// running workload. VMs appear as black boxes to PerfCloud, which sees
+// only the cgroup counters and throttle knobs.
+type VM struct {
+	id       string
+	vcpus    float64
+	memBytes float64
+	priority Priority
+	appID    string
+	cg       *cgroup.Cgroup
+	server   *Server
+	workload Workload
+
+	lastGrant Grant
+}
+
+// ID returns the VM's unique identifier.
+func (v *VM) ID() string { return v.id }
+
+// VCPUs returns the VM's virtual CPU count.
+func (v *VM) VCPUs() float64 { return v.vcpus }
+
+// MemBytes returns the VM's memory size.
+func (v *VM) MemBytes() float64 { return v.memBytes }
+
+// Priority returns the VM's administrator-assigned priority.
+func (v *VM) Priority() Priority { return v.priority }
+
+// AppID returns the identifier of the application this VM belongs to
+// ("" when the VM is standalone). All VMs of one scale-out application
+// share an AppID; the node manager groups them by it.
+func (v *VM) AppID() string { return v.appID }
+
+// Cgroup returns the VM's control group (counters + throttle knobs).
+func (v *VM) Cgroup() *cgroup.Cgroup { return v.cg }
+
+// Server returns the physical server hosting the VM.
+func (v *VM) Server() *Server { return v.server }
+
+// Workload returns the currently attached workload (nil if idle).
+func (v *VM) Workload() Workload { return v.workload }
+
+// SetWorkload attaches (or, with nil, detaches) the VM's workload.
+func (v *VM) SetWorkload(w Workload) { v.workload = w }
+
+// Idle reports whether the VM has no runnable workload this tick.
+func (v *VM) Idle() bool { return v.workload == nil || v.workload.Done() }
+
+// LastGrant returns the resources delivered on the most recent tick,
+// used by tests and the trace recorder (PerfCloud itself never reads it —
+// it observes cgroup counters only).
+func (v *VM) LastGrant() Grant { return v.lastGrant }
+
+// ServerConfig bundles the per-server resource model configurations.
+type ServerConfig struct {
+	Disk disk.Config
+	CPU  cpu.Config
+	Mem  memsys.Config
+}
+
+// DefaultServerConfig mirrors the paper's Dell PowerEdge R630 hosts.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		Disk: disk.DefaultConfig(),
+		CPU:  cpu.DefaultConfig(),
+		Mem:  memsys.DefaultConfig(),
+	}
+}
+
+// Server is one physical machine.
+type Server struct {
+	id    string
+	cfg   ServerConfig
+	disk  *disk.Disk
+	cpu   *cpu.Scheduler
+	mem   *memsys.System
+	cache *ContentCache
+	vms   []*VM
+}
+
+// Cache returns the server's page-cache model.
+func (s *Server) Cache() *ContentCache { return s.cache }
+
+// ID returns the server's identifier.
+func (s *Server) ID() string { return s.id }
+
+// VMs returns the VMs currently placed on the server (live slice copy).
+func (s *Server) VMs() []*VM { return append([]*VM(nil), s.vms...) }
+
+// Disk returns the server's disk model (for tests and traces).
+func (s *Server) Disk() *disk.Disk { return s.disk }
+
+// Mem returns the server's memory-system model (for tests and traces).
+func (s *Server) Mem() *memsys.System { return s.mem }
+
+// CPUConfig returns the server's CPU configuration.
+func (s *Server) CPUConfig() cpu.Config { return s.cfg.CPU }
+
+// FindVM returns the VM with the given id hosted on this server, or nil.
+func (s *Server) FindVM(id string) *VM {
+	for _, v := range s.vms {
+		if v.id == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// tick runs the resource pipeline for one tick.
+func (s *Server) tick(tickSec float64) {
+	n := len(s.vms)
+	if n == 0 {
+		return
+	}
+	demands := make([]Demand, n)
+	for i, v := range s.vms {
+		if !v.Idle() {
+			demands[i] = v.workload.Demand(tickSec)
+		}
+	}
+
+	// CPU.
+	cpuReqs := make([]cpu.Request, n)
+	for i, v := range s.vms {
+		cpuReqs[i] = cpu.Request{
+			ClientID: v.id,
+			Seconds:  demands[i].CPUSeconds,
+			VCPUs:    v.vcpus,
+			CapCores: v.cg.Throttle().CPUCores,
+		}
+	}
+	cpuGrants := s.cpu.Allocate(tickSec, cpuReqs)
+
+	// Memory system.
+	memReqs := make([]memsys.Request, n)
+	for i, v := range s.vms {
+		memReqs[i] = memsys.Request{
+			ClientID:        v.id,
+			CPUSeconds:      cpuGrants[i].Seconds,
+			CoreCPI:         demands[i].CoreCPI,
+			LLCRefsPerInstr: demands[i].LLCRefsPerInstr,
+			BytesPerInstr:   demands[i].BytesPerInstr,
+			WorkingSetBytes: demands[i].WorkingSetBytes,
+		}
+	}
+	memRes := s.mem.Compute(tickSec, memReqs)
+
+	// Disk.
+	diskReqs := make([]disk.Request, n)
+	for i, v := range s.vms {
+		th := v.cg.Throttle()
+		diskReqs[i] = disk.Request{
+			ClientID: v.id,
+			Ops:      demands[i].IOOps,
+			Bytes:    demands[i].IOBytes,
+			CapIOPS:  th.ReadIOPS,
+			CapBPS:   th.ReadBPS,
+		}
+	}
+	diskGrants := s.disk.Allocate(tickSec, diskReqs)
+
+	// Account and advance.
+	for i, v := range s.vms {
+		g := Grant{
+			CPUSeconds:   cpuGrants[i].Seconds,
+			Instructions: memRes[i].Instructions,
+			CPI:          memRes[i].CPI,
+			IOOps:        diskGrants[i].Ops,
+			IOBytes:      diskGrants[i].Bytes,
+			IOWaitMs:     diskGrants[i].WaitMs,
+			MemBytes:     memRes[i].MemBytes,
+		}
+		v.lastGrant = g
+		v.cg.AddCPU(g.CPUSeconds)
+		v.cg.AddBlkio(g.IOOps, g.IOBytes, g.IOWaitMs)
+		v.cg.AddPerf(memRes[i].Cycles, memRes[i].Instructions, memRes[i].LLCRefs, memRes[i].LLCMisses)
+		if !v.Idle() {
+			v.workload.Advance(tickSec, g)
+		}
+	}
+}
+
+// Cluster is the set of servers plus a VM registry. It implements
+// sim.Tickable; register it with the engine at the resource-pipeline
+// priority (after frameworks schedule, before controllers observe).
+type Cluster struct {
+	servers []*Server
+	vmsByID map[string]*VM
+}
+
+// New creates an empty cluster.
+func New() *Cluster {
+	return &Cluster{vmsByID: make(map[string]*VM)}
+}
+
+// AddServer creates a server with the given id and configuration.
+// The rng factory seeds the server's stochastic resource models.
+func (c *Cluster) AddServer(id string, cfg ServerConfig, rng *sim.RNG) *Server {
+	if c.FindServer(id) != nil {
+		panic(fmt.Sprintf("cluster: duplicate server %q", id))
+	}
+	s := &Server{
+		id:    id,
+		cfg:   cfg,
+		disk:  disk.New(cfg.Disk, rng.Streamf("disk/%s", id)),
+		cpu:   cpu.New(cfg.CPU),
+		mem:   memsys.New(cfg.Mem, rng.Streamf("memsys/%s", id)),
+		cache: NewContentCache(16<<30, 120),
+	}
+	c.servers = append(c.servers, s)
+	return s
+}
+
+// AddVM creates a VM on the given server.
+func (c *Cluster) AddVM(server *Server, id string, vcpus, memBytes float64, prio Priority, appID string) *VM {
+	if _, dup := c.vmsByID[id]; dup {
+		panic(fmt.Sprintf("cluster: duplicate VM %q", id))
+	}
+	v := &VM{
+		id:       id,
+		vcpus:    vcpus,
+		memBytes: memBytes,
+		priority: prio,
+		appID:    appID,
+		cg:       cgroup.New(id),
+		server:   server,
+	}
+	server.vms = append(server.vms, v)
+	c.vmsByID[id] = v
+	return v
+}
+
+// MoveVM live-migrates a VM to another server, preserving the VM object
+// (and thus its cgroup, workload and any references frameworks hold to
+// it). Returns an error for unknown ids; moving to the current server is
+// a no-op.
+func (c *Cluster) MoveVM(vmID, serverID string) error {
+	v, ok := c.vmsByID[vmID]
+	if !ok {
+		return fmt.Errorf("cluster: no VM %q", vmID)
+	}
+	dst := c.FindServer(serverID)
+	if dst == nil {
+		return fmt.Errorf("cluster: no server %q", serverID)
+	}
+	if v.server == dst {
+		return nil
+	}
+	src := v.server
+	for i, u := range src.vms {
+		if u == v {
+			src.vms = append(src.vms[:i], src.vms[i+1:]...)
+			break
+		}
+	}
+	dst.vms = append(dst.vms, v)
+	v.server = dst
+	return nil
+}
+
+// RemoveVM detaches a VM from its server and the registry (used by the
+// cloud manager for termination/migration). Removing an unknown VM is a
+// no-op.
+func (c *Cluster) RemoveVM(id string) {
+	v, ok := c.vmsByID[id]
+	if !ok {
+		return
+	}
+	delete(c.vmsByID, id)
+	srv := v.server
+	for i, u := range srv.vms {
+		if u == v {
+			srv.vms = append(srv.vms[:i], srv.vms[i+1:]...)
+			break
+		}
+	}
+}
+
+// Servers returns all servers in creation order.
+func (c *Cluster) Servers() []*Server { return append([]*Server(nil), c.servers...) }
+
+// FindServer returns the server with the given id, or nil.
+func (c *Cluster) FindServer(id string) *Server {
+	for _, s := range c.servers {
+		if s.id == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// FindVM returns the VM with the given id, or nil.
+func (c *Cluster) FindVM(id string) *VM { return c.vmsByID[id] }
+
+// VMs returns all VMs across all servers in placement order.
+func (c *Cluster) VMs() []*VM {
+	var out []*VM
+	for _, s := range c.servers {
+		out = append(out, s.vms...)
+	}
+	return out
+}
+
+// AppVMs returns the VMs belonging to the given application id, across
+// all servers.
+func (c *Cluster) AppVMs(appID string) []*VM {
+	var out []*VM
+	for _, v := range c.VMs() {
+		if v.appID == appID {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Tick advances every server's resource pipeline by one tick.
+func (c *Cluster) Tick(clk *sim.Clock) {
+	for _, s := range c.servers {
+		s.tick(clk.TickSeconds())
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"perfcloud/internal/stats"
+)
+
+// Correlator performs the paper's online cross-correlation analysis
+// (§III-B): it maintains a time series of the victim application's
+// deviation signals and, per low-priority suspect VM, time series of the
+// suspect's I/O throughput and LLC miss rate. A suspect whose activity
+// correlates with the victim's deviation at or above the threshold is an
+// antagonist. Missing suspect measurements (idle intervals) are treated
+// as zero, per the paper's rule, so similarity is never inferred from a
+// handful of present samples.
+type Correlator struct {
+	window    int
+	threshold float64
+
+	victimIO  *stats.TimeSeries
+	victimCPI *stats.TimeSeries
+	suspects  map[string]*suspectSeries
+}
+
+type suspectSeries struct {
+	io  *stats.TimeSeries // I/O throughput, bytes/sec
+	llc *stats.TimeSeries // LLC miss rate, misses/sec (NaN = missing)
+}
+
+// NewCorrelator creates a correlator. window is the number of recent
+// intervals correlated (the paper identifies antagonists with as few as
+// three); threshold is the Pearson coefficient cut-off (0.8).
+func NewCorrelator(window int, threshold float64) *Correlator {
+	if window < 2 {
+		panic("core: correlation window must be >= 2")
+	}
+	return &Correlator{
+		window:    window,
+		threshold: threshold,
+		victimIO:  stats.NewTimeSeries(),
+		victimCPI: stats.NewTimeSeries(),
+		suspects:  make(map[string]*suspectSeries),
+	}
+}
+
+// Record appends one interval: the victim application's deviation signals
+// and each suspect's activity from the sample.
+func (c *Correlator) Record(nowSec float64, det Detection, s Sample, suspectIDs []string) {
+	c.victimIO.Append(nowSec, det.IowaitDev)
+	c.victimCPI.Append(nowSec, det.CPIDev)
+	seen := make(map[string]bool, len(suspectIDs))
+	for _, id := range suspectIDs {
+		seen[id] = true
+		ss, ok := c.suspects[id]
+		if !ok {
+			ss = &suspectSeries{io: stats.NewTimeSeries(), llc: stats.NewTimeSeries()}
+			c.suspects[id] = ss
+			// Backfill zeros so all series stay aligned with the victim's.
+			for ss.io.Len() < c.victimIO.Len()-1 {
+				ss.io.Append(nowSec, 0)
+				ss.llc.AppendMissing(nowSec)
+			}
+		}
+		vs, present := s.VMs[id]
+		if !present {
+			ss.io.Append(nowSec, 0)
+			ss.llc.AppendMissing(nowSec)
+			continue
+		}
+		ss.io.Append(nowSec, vs.IOThroughputBps)
+		ss.llc.Append(nowSec, vs.LLCMissRate) // NaN when the VM was idle
+	}
+	// Suspects that left the server stop accumulating; drop their state.
+	for id := range c.suspects {
+		if !seen[id] {
+			delete(c.suspects, id)
+		}
+	}
+}
+
+// Correlation holds one suspect's Pearson coefficients against the
+// victim's deviation signals.
+type Correlation struct {
+	VMID string
+	IO   float64 // corr(victim iowait deviation, suspect I/O throughput)
+	CPU  float64 // corr(victim CPI deviation, suspect LLC miss rate)
+}
+
+// Correlations returns each suspect's coefficients over the trailing
+// window, sorted by VM id. Suspects with insufficient history are
+// omitted.
+func (c *Correlator) Correlations() []Correlation {
+	var out []Correlation
+	for id, ss := range c.suspects {
+		w, ok := stats.AlignedWindows(c.window, c.victimIO, c.victimCPI, ss.io, ss.llc)
+		if !ok {
+			continue
+		}
+		rio, err1 := stats.PearsonMissingAsZero(w[0], w[2])
+		rcpu, err2 := stats.PearsonMissingAsZero(w[1], w[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, Correlation{VMID: id, IO: rio, CPU: rcpu})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VMID < out[j].VMID })
+	return out
+}
+
+// IOAntagonists returns suspects whose I/O correlation meets the
+// threshold, sorted by VM id.
+func (c *Correlator) IOAntagonists() []string {
+	var out []string
+	for _, r := range c.Correlations() {
+		if r.IO >= c.threshold {
+			out = append(out, r.VMID)
+		}
+	}
+	return out
+}
+
+// CPUAntagonists returns suspects whose LLC-miss correlation meets the
+// threshold, sorted by VM id.
+func (c *Correlator) CPUAntagonists() []string {
+	var out []string
+	for _, r := range c.Correlations() {
+		if r.CPU >= c.threshold {
+			out = append(out, r.VMID)
+		}
+	}
+	return out
+}
+
+// SuspectIOSeries returns the named suspect's I/O-throughput series, or
+// nil if the suspect is unknown (for traces and offline analysis).
+func (c *Correlator) SuspectIOSeries(id string) *stats.TimeSeries {
+	if ss, ok := c.suspects[id]; ok {
+		return ss.io
+	}
+	return nil
+}
+
+// SuspectLLCSeries returns the named suspect's LLC-miss-rate series
+// (NaN marks idle intervals), or nil if the suspect is unknown.
+func (c *Correlator) SuspectLLCSeries(id string) *stats.TimeSeries {
+	if ss, ok := c.suspects[id]; ok {
+		return ss.llc
+	}
+	return nil
+}
+
+// VictimIOSeries exposes the victim iowait-deviation series (for traces).
+func (c *Correlator) VictimIOSeries() *stats.TimeSeries { return c.victimIO }
+
+// VictimCPISeries exposes the victim CPI-deviation series (for traces).
+func (c *Correlator) VictimCPISeries() *stats.TimeSeries { return c.victimCPI }

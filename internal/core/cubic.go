@@ -1,0 +1,132 @@
+// Package core implements PerfCloud, the paper's contribution: a
+// decentralized node-manager agent per physical server that detects
+// performance interference from system-level metrics (blkio counters and
+// CPI from hardware performance counters), identifies antagonistic VMs by
+// online Pearson cross-correlation, and throttles them with a dynamic
+// resource-control algorithm whose cap trajectory follows the CUBIC
+// congestion-control function (§III).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CubicConfig parameterises Equation 1.
+type CubicConfig struct {
+	// Beta is the multiplicative-decrease factor: on contention the cap
+	// shrinks to (1-Beta)*cap. The paper sets 0.8 (cut to 20%).
+	Beta float64
+	// Gamma scales the cubic growth term; the paper sets 0.005. Smaller
+	// gamma lengthens the plateau region.
+	Gamma float64
+	// MinCap floors the cap so repeated decreases cannot starve an
+	// antagonist to zero (the paper penalises, it does not kill).
+	MinCap float64
+	// MaxCap bounds probing growth (0 = unbounded). Bounding matters for
+	// control: a later decrease from an unbounded probed value would take
+	// many intervals to bite, while the paper's Fig. 10 re-throttle drops
+	// the cap immediately.
+	MaxCap float64
+}
+
+// DefaultCubicConfig returns the paper's empirically tuned constants.
+func DefaultCubicConfig() CubicConfig {
+	return CubicConfig{Beta: 0.8, Gamma: 0.005, MinCap: 0}
+}
+
+// Cubic is the per-antagonist, per-resource cap controller implementing
+// Equation 1:
+//
+//	C(t+1) = (1-beta) * C(t)                    if I(t) > H
+//	C(t+1) = gamma*(T - K)^3 + Cmax, K = cbrt(Cmax*beta/gamma)   otherwise
+//
+// where T is the number of intervals since the last cap decrease and Cmax
+// the cap at that moment. The growth curve passes exactly through the
+// reduced cap at T=0 and exhibits CUBIC's three regions: fast initial
+// growth toward Cmax, a plateau around it, and aggressive probing beyond
+// it (Fig. 7).
+type Cubic struct {
+	cfg CubicConfig
+
+	cap          float64
+	capMax       float64
+	lastDecrease int64
+	decreased    bool
+}
+
+// NewCubic creates a controller with the cap initialised to the
+// antagonist's observed resource usage (Eq. 1's C_i at t=1).
+func NewCubic(cfg CubicConfig, initialCap float64) *Cubic {
+	if cfg.Beta <= 0 || cfg.Beta >= 1 {
+		panic(fmt.Sprintf("core: cubic beta %v out of (0,1)", cfg.Beta))
+	}
+	if cfg.Gamma <= 0 {
+		panic(fmt.Sprintf("core: cubic gamma %v must be positive", cfg.Gamma))
+	}
+	if initialCap <= 0 {
+		panic("core: cubic initial cap must be positive")
+	}
+	return &Cubic{cfg: cfg, cap: initialCap, capMax: initialCap}
+}
+
+// Cap returns the current cap value.
+func (c *Cubic) Cap() float64 { return c.cap }
+
+// CapMax returns the cap at the moment of the last decrease.
+func (c *Cubic) CapMax() float64 { return c.capMax }
+
+// Decreased reports whether the controller has ever throttled.
+func (c *Cubic) Decreased() bool { return c.decreased }
+
+// K returns the plateau midpoint: intervals after a decrease at which the
+// cubic regains Cmax.
+func (c *Cubic) K() float64 {
+	return math.Cbrt(c.capMax * c.cfg.Beta / c.cfg.Gamma)
+}
+
+// Update advances one control interval. contention reports whether the
+// victim's deviation signal exceeded its threshold (I(t) > H). It returns
+// the new cap.
+func (c *Cubic) Update(interval int64, contention bool) float64 {
+	if contention {
+		c.capMax = c.cap
+		c.cap = (1 - c.cfg.Beta) * c.cap
+		if c.cap < c.cfg.MinCap {
+			c.cap = c.cfg.MinCap
+		}
+		c.lastDecrease = interval
+		c.decreased = true
+		return c.cap
+	}
+	t := float64(interval - c.lastDecrease)
+	grown := c.cfg.Gamma*math.Pow(t-c.K(), 3) + c.capMax
+	// The cubic is the *growth* trajectory after a decrease: never let it
+	// pull the cap below its current value (t just after a decrease sits
+	// below the curve's start only if intervals were skipped).
+	if grown > c.cap {
+		c.cap = grown
+	}
+	if c.cfg.MaxCap > 0 && c.cap > c.cfg.MaxCap {
+		c.cap = c.cfg.MaxCap
+	}
+	return c.cap
+}
+
+// Region names the part of the growth curve the controller is in at the
+// given interval — useful for traces and the Fig. 7 reproduction.
+func (c *Cubic) Region(interval int64) string {
+	if !c.decreased {
+		return "probing"
+	}
+	t := float64(interval - c.lastDecrease)
+	k := c.K()
+	switch {
+	case t < 0.7*k:
+		return "growth"
+	case t <= 1.3*k:
+		return "plateau"
+	default:
+		return "probing"
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCubic(initial float64) *Cubic {
+	return NewCubic(DefaultCubicConfig(), initial)
+}
+
+func TestInitialCapIsObservedUsage(t *testing.T) {
+	c := newTestCubic(100)
+	if c.Cap() != 100 || c.Decreased() {
+		t.Errorf("cap = %v, decreased = %v", c.Cap(), c.Decreased())
+	}
+}
+
+func TestMultiplicativeDecrease(t *testing.T) {
+	c := newTestCubic(100)
+	got := c.Update(1, true)
+	if math.Abs(got-20) > 1e-9 { // (1-0.8)*100
+		t.Errorf("cap after decrease = %v, want 20", got)
+	}
+	if c.CapMax() != 100 {
+		t.Errorf("capMax = %v, want 100", c.CapMax())
+	}
+	if !c.Decreased() {
+		t.Error("Decreased should be true")
+	}
+}
+
+func TestGrowthCurvePassesThroughReducedCap(t *testing.T) {
+	// At T=0 the cubic evaluates to gamma*(-K)^3 + Cmax = -beta*Cmax + Cmax
+	// = (1-beta)*Cmax: exactly the reduced cap. The first growth interval
+	// (T=1) must therefore sit just above it.
+	c := newTestCubic(100)
+	c.Update(10, true)
+	after := c.Update(11, false)
+	if after <= 20 || after > 30 {
+		t.Errorf("first growth step = %v, want slightly above 20", after)
+	}
+}
+
+func TestThreeRegions(t *testing.T) {
+	c := newTestCubic(100)
+	c.Update(0, true)
+	k := c.K() // cbrt(100*0.8/0.005) = cbrt(16000) ~ 25.2 intervals
+	if math.Abs(k-math.Cbrt(16000)) > 1e-9 {
+		t.Fatalf("K = %v", k)
+	}
+	var caps []float64
+	for i := int64(1); i <= 60; i++ {
+		caps = append(caps, c.Update(i, false))
+	}
+	// Growth region: steep early increase.
+	earlyGain := caps[4] - 20
+	// Plateau: around T=K the curve is flat near Cmax.
+	mid := int(k)
+	plateauGain := caps[mid+2] - caps[mid-2]
+	// Probing: far beyond K it accelerates past Cmax.
+	lateGain := caps[55] - caps[50]
+	if earlyGain < 5 {
+		t.Errorf("early growth = %v, want steep", earlyGain)
+	}
+	if plateauGain > earlyGain/2 {
+		t.Errorf("plateau gain %v should be much flatter than early %v", plateauGain, earlyGain)
+	}
+	if lateGain < plateauGain*3 {
+		t.Errorf("probing gain %v should dwarf plateau %v", lateGain, plateauGain)
+	}
+	// Around T=K the cap is close to Cmax.
+	if math.Abs(caps[mid-1]-100) > 10 {
+		t.Errorf("cap at K = %v, want ~100", caps[mid-1])
+	}
+	// Region labels.
+	c2 := newTestCubic(100)
+	if c2.Region(5) != "probing" {
+		t.Errorf("undecreased controller region = %v", c2.Region(5))
+	}
+	c2.Update(0, true)
+	if got := c2.Region(2); got != "growth" {
+		t.Errorf("region at T=2 = %v", got)
+	}
+	if got := c2.Region(int64(k)); got != "plateau" {
+		t.Errorf("region at T=K = %v", got)
+	}
+	if got := c2.Region(60); got != "probing" {
+		t.Errorf("region at T=60 = %v", got)
+	}
+}
+
+func TestRepeatedContentionKeepsDecreasing(t *testing.T) {
+	c := newTestCubic(100)
+	c.Update(1, true)
+	c.Update(2, true)
+	if math.Abs(c.Cap()-4) > 1e-9 { // 100 * 0.2 * 0.2
+		t.Errorf("cap = %v, want 4", c.Cap())
+	}
+	if math.Abs(c.CapMax()-20) > 1e-9 {
+		t.Errorf("capMax = %v, want 20 (cap before last decrease)", c.CapMax())
+	}
+}
+
+func TestMinCapFloor(t *testing.T) {
+	cfg := DefaultCubicConfig()
+	cfg.MinCap = 10
+	c := NewCubic(cfg, 100)
+	for i := int64(0); i < 20; i++ {
+		c.Update(i, true)
+	}
+	if c.Cap() != 10 {
+		t.Errorf("cap = %v, want floored at 10", c.Cap())
+	}
+}
+
+func TestGrowthNeverShrinksCap(t *testing.T) {
+	c := newTestCubic(100)
+	c.Update(0, true)
+	prev := c.Cap()
+	for i := int64(1); i < 100; i++ {
+		got := c.Update(i, false)
+		if got < prev-1e-9 {
+			t.Fatalf("cap shrank during growth: %v -> %v at %d", prev, got, i)
+		}
+		prev = got
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	cases := []func(){
+		func() { NewCubic(CubicConfig{Beta: 0, Gamma: 0.005}, 1) },
+		func() { NewCubic(CubicConfig{Beta: 1, Gamma: 0.005}, 1) },
+		func() { NewCubic(CubicConfig{Beta: 0.8, Gamma: 0}, 1) },
+		func() { NewCubic(DefaultCubicConfig(), 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the cap is always positive, and a decrease always cuts to
+// (1-beta) of the current value (down to the floor).
+func TestPropertyCapPositiveAndDecreaseExact(t *testing.T) {
+	f := func(initial uint16, pattern []bool) bool {
+		init := float64(initial%1000) + 1
+		c := newTestCubic(init)
+		for i, contention := range pattern {
+			before := c.Cap()
+			got := c.Update(int64(i), contention)
+			if got <= 0 {
+				return false
+			}
+			if contention && math.Abs(got-0.2*before) > 1e-9 && got != c.cfg.MinCap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: during sustained growth the curve is monotone nondecreasing.
+func TestPropertyGrowthMonotone(t *testing.T) {
+	f := func(initial uint16, steps uint8) bool {
+		c := newTestCubic(float64(initial%500) + 1)
+		c.Update(0, true)
+		prev := c.Cap()
+		for i := int64(1); i < int64(steps); i++ {
+			got := c.Update(i, false)
+			if got < prev-1e-9 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+
+	"perfcloud/internal/stats"
+)
+
+// Thresholds are the detection thresholds H from §III-C, set from the
+// peak deviations observed with no resource contention: 10 (ms/op) for
+// the block-iowait ratio and 1 for CPI.
+type Thresholds struct {
+	Iowait float64
+	CPI    float64
+}
+
+// DefaultThresholds returns the paper's values.
+func DefaultThresholds() Thresholds { return Thresholds{Iowait: 10, CPI: 1} }
+
+// Detection is the detector's verdict for one high-priority application
+// on one server for one interval.
+type Detection struct {
+	// IowaitDev is the standard deviation of the (smoothed) block-iowait
+	// ratio across the application's active VMs — I(t) for I/O.
+	IowaitDev float64
+	// CPIDev is the standard deviation of CPI across the application's
+	// VMs that retired instructions — I(t) for processor resources.
+	CPIDev float64
+	// MeanIowait and MeanCPI are the corresponding means, recorded for
+	// the D1 ablation (absolute-threshold detection) and for traces; the
+	// paper's detector never consults them.
+	MeanIowait float64
+	MeanCPI    float64
+	// IOContention and CPUContention report I(t) > H per channel.
+	IOContention  bool
+	CPUContention bool
+}
+
+// Contention reports whether either channel fired.
+func (d Detection) Contention() bool { return d.IOContention || d.CPUContention }
+
+// Detect computes the deviation signals for one application's VMs from a
+// sample. Only VMs with activity in the relevant dimension contribute:
+// scale-out frameworks spread work evenly across workers (§III-A), so
+// active workers are comparable — while a worker idle between task waves
+// carries no signal and would otherwise fake a deviation.
+func Detect(s Sample, appVMs []string, th Thresholds) Detection {
+	var ratios, cpis []float64
+	for _, id := range appVMs {
+		vs, ok := s.VMs[id]
+		if !ok {
+			continue
+		}
+		if vs.IOActive {
+			ratios = append(ratios, vs.IowaitRatio)
+		}
+		if !math.IsNaN(vs.CPI) {
+			cpis = append(cpis, vs.CPI)
+		}
+	}
+	d := Detection{
+		IowaitDev:  stats.StdDev(ratios),
+		CPIDev:     stats.StdDev(cpis),
+		MeanIowait: stats.Mean(ratios),
+		MeanCPI:    stats.Mean(cpis),
+	}
+	d.IOContention = d.IowaitDev > th.Iowait
+	d.CPUContention = d.CPIDev > th.CPI
+	return d
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"perfcloud/internal/core"
+)
+
+// Equation 1's trajectory: a contention event cuts the cap to (1-beta);
+// the cubic then recovers steeply, plateaus around the pre-decrease cap
+// at T = K, and probes beyond it.
+func ExampleCubic() {
+	c := core.NewCubic(core.DefaultCubicConfig(), 1.0)
+	c.Update(0, true) // I(t) > H: multiplicative decrease
+	fmt.Printf("after decrease: %.2f (K = %.1f intervals)\n", c.Cap(), c.K())
+	for t := int64(1); t <= 9; t += 4 {
+		fmt.Printf("T=%d: cap %.2f (%s)\n", t, c.Update(t, false), c.Region(t))
+	}
+	// Output:
+	// after decrease: 0.20 (K = 5.4 intervals)
+	// T=1: cap 0.57 (growth)
+	// T=5: cap 1.00 (plateau)
+	// T=9: cap 1.23 (probing)
+}
+
+// The detector works on any Sample; here two worker VMs wait very
+// differently for the disk while a third is idle — classic external
+// interference.
+func ExampleDetect() {
+	s := core.Sample{VMs: map[string]core.VMSample{
+		"worker-0": {IOActive: true, IowaitRatio: 80, CPI: 1.1},
+		"worker-1": {IOActive: true, IowaitRatio: 8, CPI: 1.2},
+		"worker-2": {IOActive: false},
+	}}
+	d := core.Detect(s, []string{"worker-0", "worker-1", "worker-2"}, core.DefaultThresholds())
+	fmt.Printf("iowait deviation %.0f ms/op, I/O contention: %v\n", d.IowaitDev, d.IOContention)
+	// Output: iowait deviation 36 ms/op, I/O contention: true
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+
+	"perfcloud/internal/cgroup"
+	"perfcloud/internal/hypervisor"
+	"perfcloud/internal/stats"
+)
+
+// VMSample is the per-VM measurement for one 5-second interval, computed
+// from cumulative counter deltas as the paper's performance monitor does
+// (§III-D1).
+type VMSample struct {
+	// IowaitRatio is blkio.io_wait_time / blkio.io_serviced over the
+	// interval (ms per op), EWMA-smoothed; 0 when the VM did no I/O.
+	IowaitRatio float64
+	// IOActive reports whether the VM completed any I/O this interval.
+	IOActive bool
+	// CPI is delta cycles / delta instructions, EWMA-smoothed; NaN when
+	// the VM retired no instructions (a missing measurement).
+	CPI float64
+	// IOPS and IOThroughputBps are the VM's observed I/O rates — the
+	// suspect signal for I/O antagonist identification and the Cubic
+	// controllers' initial caps.
+	IOPS            float64
+	IOThroughputBps float64
+	// LLCMissRate is LLC misses per second — the suspect signal for
+	// processor-resource antagonist identification. NaN when the VM ran
+	// no instructions (the paper's "not counted when not running").
+	LLCMissRate float64
+	// CPUUsageCores is the VM's observed CPU usage in cores.
+	CPUUsageCores float64
+}
+
+// Sample is one monitoring interval across all domains of a server.
+type Sample struct {
+	TimeSec float64
+	VMs     map[string]VMSample
+}
+
+// Monitor periodically reads every domain's cumulative counters through
+// the hypervisor, computes interval deltas and applies EWMA smoothing.
+type Monitor struct {
+	hv    *hypervisor.Hypervisor
+	alpha float64
+
+	prev       map[string]cgroup.Counters
+	ewmaIowait map[string]*stats.EWMA
+	ewmaCPI    map[string]*stats.EWMA
+	ewmaLLC    map[string]*stats.EWMA
+	ewmaIOBps  map[string]*stats.EWMA
+	ewmaIOPS   map[string]*stats.EWMA
+}
+
+// NewMonitor creates a monitor over one server's hypervisor. alpha is
+// the EWMA smoothing factor for the detection signals.
+func NewMonitor(hv *hypervisor.Hypervisor, alpha float64) *Monitor {
+	return &Monitor{
+		hv:         hv,
+		alpha:      alpha,
+		prev:       make(map[string]cgroup.Counters),
+		ewmaIowait: make(map[string]*stats.EWMA),
+		ewmaCPI:    make(map[string]*stats.EWMA),
+		ewmaLLC:    make(map[string]*stats.EWMA),
+		ewmaIOBps:  make(map[string]*stats.EWMA),
+		ewmaIOPS:   make(map[string]*stats.EWMA),
+	}
+}
+
+// Sample reads all domains, returning per-VM interval measurements.
+// intervalSec is the elapsed time since the previous call.
+func (m *Monitor) Sample(nowSec, intervalSec float64) Sample {
+	out := Sample{TimeSec: nowSec, VMs: make(map[string]VMSample)}
+	if intervalSec <= 0 {
+		intervalSec = 1
+	}
+	seen := make(map[string]bool)
+	for _, id := range m.hv.ListDomains() {
+		now, err := m.hv.DomainStats(id)
+		if err != nil {
+			continue // domain vanished between list and read
+		}
+		seen[id] = true
+		prev, had := m.prev[id]
+		m.prev[id] = now
+		if !had {
+			// First observation of this domain: no delta yet.
+			continue
+		}
+		d := cgroup.Delta(now, prev)
+		vs := VMSample{
+			IOActive:        d.Blkio.IoServiced > 0,
+			IOPS:            m.smooth(m.ewmaIOPS, id, d.Blkio.IoServiced/intervalSec),
+			IOThroughputBps: m.smooth(m.ewmaIOBps, id, d.Blkio.IoServiceBytes/intervalSec),
+			CPUUsageCores:   d.CPU.UsageSeconds / intervalSec,
+		}
+		vs.IowaitRatio = m.smooth(m.ewmaIowait, id, d.IowaitRatio())
+		if d.Perf.Instructions > 0 {
+			vs.CPI = m.smooth(m.ewmaCPI, id, d.Perf.Cycles/d.Perf.Instructions)
+			vs.LLCMissRate = m.smooth(m.ewmaLLC, id, d.Perf.LLCMisses/intervalSec)
+		} else {
+			// No instructions retired: CPI does not exist for this
+			// interval. The LLC-miss signal instead decays through the
+			// same filter as the victim signals (so the correlator
+			// compares like-filtered series) — but it stays a missing
+			// measurement (NaN) until the VM has ever run, which is what
+			// the paper's missing-as-zero Pearson rule handles.
+			vs.CPI = math.NaN()
+			if e, ok := m.ewmaLLC[id]; ok && e.Primed() {
+				vs.LLCMissRate = e.Update(0)
+			} else {
+				vs.LLCMissRate = math.NaN()
+			}
+		}
+		out.VMs[id] = vs
+	}
+	// Drop state for domains that disappeared (terminated or migrated).
+	for id := range m.prev {
+		if !seen[id] {
+			delete(m.prev, id)
+			delete(m.ewmaIowait, id)
+			delete(m.ewmaCPI, id)
+			delete(m.ewmaLLC, id)
+			delete(m.ewmaIOBps, id)
+			delete(m.ewmaIOPS, id)
+		}
+	}
+	return out
+}
+
+// smooth folds a raw interval value into the named VM's EWMA.
+func (m *Monitor) smooth(set map[string]*stats.EWMA, id string, v float64) float64 {
+	e, ok := set[id]
+	if !ok {
+		e = stats.NewEWMA(m.alpha)
+		set[id] = e
+	}
+	return e.Update(v)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/hypervisor"
+	"perfcloud/internal/sim"
+)
+
+func monitorFixture(t *testing.T) (*cluster.Cluster, *cluster.Server, *Monitor) {
+	t.Helper()
+	eng := sim.NewEngine(100*time.Millisecond, 3)
+	cl := cluster.New()
+	srv := cl.AddServer("s0", cluster.DefaultServerConfig(), eng.RNG())
+	cl.AddVM(srv, "vm-a", 2, 8<<30, cluster.HighPriority, "app")
+	cl.AddVM(srv, "vm-b", 2, 8<<30, cluster.LowPriority, "")
+	return cl, srv, NewMonitor(hypervisor.New(srv), 0.5)
+}
+
+func TestMonitorFirstSampleHasNoDeltas(t *testing.T) {
+	_, _, m := monitorFixture(t)
+	s := m.Sample(0, 5)
+	if len(s.VMs) != 0 {
+		t.Errorf("first sample should be empty, got %v", s.VMs)
+	}
+}
+
+func TestMonitorDeltasAndRates(t *testing.T) {
+	cl, _, m := monitorFixture(t)
+	m.Sample(0, 5) // prime
+	a := cl.FindVM("vm-a").Cgroup()
+	a.AddBlkio(500, 500*4096, 1000) // 100 IOPS over 5 s, 2 ms/op
+	a.AddCPU(5)                     // 1 core
+	a.AddPerf(2e9, 1e9, 1e7, 5e6)   // CPI 2
+	s := m.Sample(5, 5)
+	vs, ok := s.VMs["vm-a"]
+	if !ok {
+		t.Fatal("vm-a missing")
+	}
+	if !vs.IOActive || vs.IOPS != 100 || vs.IOThroughputBps != 100*4096 {
+		t.Errorf("io = %+v", vs)
+	}
+	if vs.IowaitRatio != 2 {
+		t.Errorf("iowait ratio = %v, want 2", vs.IowaitRatio)
+	}
+	if vs.CPI != 2 || vs.CPUUsageCores != 1 {
+		t.Errorf("cpi=%v cpu=%v", vs.CPI, vs.CPUUsageCores)
+	}
+	if vs.LLCMissRate != 1e6 {
+		t.Errorf("llc rate = %v", vs.LLCMissRate)
+	}
+}
+
+func TestMonitorMissingValuesWhenIdle(t *testing.T) {
+	cl, _, m := monitorFixture(t)
+	m.Sample(0, 5)
+	// vm-b stays completely idle.
+	cl.FindVM("vm-a").Cgroup().AddCPU(1)
+	s := m.Sample(5, 5)
+	vs := s.VMs["vm-b"]
+	if !math.IsNaN(vs.CPI) || !math.IsNaN(vs.LLCMissRate) {
+		t.Errorf("idle VM should have missing CPI/LLC: %+v", vs)
+	}
+	if vs.IOActive || vs.IowaitRatio != 0 {
+		t.Errorf("idle VM io = %+v", vs)
+	}
+}
+
+func TestMonitorEWMASmoothing(t *testing.T) {
+	cl, _, m := monitorFixture(t)
+	m.Sample(0, 5)
+	a := cl.FindVM("vm-a").Cgroup()
+	a.AddBlkio(100, 0, 1000) // 10 ms/op
+	s1 := m.Sample(5, 5)
+	a.AddBlkio(100, 0, 0) // 0 ms/op raw
+	s2 := m.Sample(10, 5)
+	if s1.VMs["vm-a"].IowaitRatio != 10 {
+		t.Errorf("first ratio = %v", s1.VMs["vm-a"].IowaitRatio)
+	}
+	if got := s2.VMs["vm-a"].IowaitRatio; got != 5 { // 0.5*0 + 0.5*10
+		t.Errorf("smoothed ratio = %v, want 5", got)
+	}
+}
+
+func TestMonitorForgetsRemovedDomains(t *testing.T) {
+	cl, _, m := monitorFixture(t)
+	m.Sample(0, 5)
+	cl.RemoveVM("vm-b")
+	s := m.Sample(5, 5)
+	if _, ok := s.VMs["vm-b"]; ok {
+		t.Error("removed VM should not be sampled")
+	}
+	if len(m.prev) != 1 {
+		t.Errorf("prev map = %d entries, want 1", len(m.prev))
+	}
+}
+
+func TestDetectActiveOnly(t *testing.T) {
+	th := DefaultThresholds()
+	s := Sample{VMs: map[string]VMSample{
+		"a": {IOActive: true, IowaitRatio: 50, CPI: 1.5},
+		"b": {IOActive: true, IowaitRatio: 10, CPI: 1.4},
+		"c": {IOActive: false, IowaitRatio: 0, CPI: math.NaN()}, // idle worker
+	}}
+	d := Detect(s, []string{"a", "b", "c"}, th)
+	// Only a and b count: stddev of {50,10} = 20 > 10.
+	if math.Abs(d.IowaitDev-20) > 1e-9 || !d.IOContention {
+		t.Errorf("iowait dev = %v contention=%v", d.IowaitDev, d.IOContention)
+	}
+	// CPI stddev of {1.5,1.4} = 0.05 < 1.
+	if d.CPUContention {
+		t.Errorf("cpu contention = true, dev = %v", d.CPIDev)
+	}
+	if !d.Contention() {
+		t.Error("overall contention should be true")
+	}
+}
+
+func TestDetectIgnoresUnknownVMs(t *testing.T) {
+	s := Sample{VMs: map[string]VMSample{}}
+	d := Detect(s, []string{"ghost1", "ghost2"}, DefaultThresholds())
+	if d.Contention() || d.IowaitDev != 0 || d.CPIDev != 0 {
+		t.Errorf("detection over ghosts = %+v", d)
+	}
+}
+
+func TestDetectSingleActiveVMNoSignal(t *testing.T) {
+	s := Sample{VMs: map[string]VMSample{
+		"a": {IOActive: true, IowaitRatio: 500, CPI: 9},
+	}}
+	d := Detect(s, []string{"a"}, DefaultThresholds())
+	if d.Contention() {
+		t.Error("one VM carries no deviation signal")
+	}
+}

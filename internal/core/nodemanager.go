@@ -1,0 +1,404 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"perfcloud/internal/cloud"
+	"perfcloud/internal/hypervisor"
+	"perfcloud/internal/sim"
+)
+
+// Config parameterises a node manager. Defaults mirror §III-C/D.
+type Config struct {
+	// IntervalSec is the monitoring/control period (the paper's 5 s).
+	IntervalSec float64
+	// EWMAAlpha smooths the per-VM detection signals.
+	EWMAAlpha float64
+	// Thresholds are the contention thresholds H.
+	Thresholds Thresholds
+	// CorrWindow / CorrThreshold configure antagonist identification.
+	CorrWindow    int
+	CorrThreshold float64
+	// Cubic configures the cap controllers.
+	Cubic CubicConfig
+	// MinCapFraction floors a controller's cap at this fraction of the
+	// antagonist's initially observed usage, so persistent contention
+	// penalises but never fully starves a low-priority VM.
+	MinCapFraction float64
+	// ReleaseFactor removes the throttle (and forgets the controller)
+	// once the probing cap exceeds this multiple of the initial usage.
+	ReleaseFactor float64
+	// ObserveOnly makes the agent monitor, detect and identify without
+	// ever applying caps — the "default system" arm of the paper's
+	// evaluation, instrumented with the same signals.
+	ObserveOnly bool
+	// NewPolicy overrides the cap-control policy factory (the D3
+	// ablation); nil selects the paper's CUBIC controller. Policies
+	// operate in normalized units with the cap starting at 1.
+	NewPolicy func() CapPolicy
+	// EnableMigration lets the node manager escalate to the cloud manager
+	// when multiple high-priority applications collide on its server and
+	// throttling low-priority VMs cannot help — the complementary
+	// VM-migration path of §III-D2 / §IV-D2. MigrationAfterIntervals is
+	// how many consecutive unresolvable contended intervals trigger it
+	// (0 = 3).
+	EnableMigration         bool
+	MigrationAfterIntervals int
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		IntervalSec:    5,
+		EWMAAlpha:      0.7,
+		Thresholds:     DefaultThresholds(),
+		CorrWindow:     4,
+		CorrThreshold:  0.8,
+		Cubic:          DefaultCubicConfig(),
+		MinCapFraction: 0.02,
+		ReleaseFactor:  4,
+	}
+}
+
+// TraceEntry records one control interval for analysis and the paper's
+// timeline figures (Figs. 9 and 10).
+type TraceEntry struct {
+	TimeSec        float64
+	IowaitDev      float64
+	CPIDev         float64
+	MeanIowait     float64
+	MeanCPI        float64
+	IOContention   bool
+	CPUContention  bool
+	IOAntagonists  []string
+	CPUAntagonists []string
+	// IOCaps are the IOPS caps in force after this interval, per VM.
+	IOCaps map[string]float64
+	// CPUCaps are the core caps in force after this interval, per VM.
+	CPUCaps map[string]float64
+}
+
+// capController pairs a Cubic with the context needed to apply its cap.
+// The Cubic operates in normalized units — the cap as a fraction of the
+// antagonist's initially observed usage (so C = 1 at t = 1, as Eq. 1
+// initialises it). Normalization keeps K = cbrt(Cmax*beta/gamma) in the
+// few-interval range of the paper's Fig. 10 timeline regardless of the
+// resource's absolute magnitude.
+type capController struct {
+	policy  CapPolicy
+	initial float64 // observed usage at initialization (IOPS or cores)
+	opSize  float64 // bytes per op at initialization (I/O controllers)
+}
+
+// NodeManager is PerfCloud's per-server agent (Algorithm 1): each
+// interval it fetches VM metadata from the cloud manager, samples the
+// performance monitor, computes the deviation signals for the server's
+// high-priority applications, identifies antagonists by correlation, and
+// drives the Cubic controllers that cap antagonist CPU and I/O through
+// the hypervisor.
+type NodeManager struct {
+	cfg  Config
+	cm   *cloud.Manager
+	hv   *hypervisor.Hypervisor
+	mon  *Monitor
+	corr *Correlator
+
+	io  map[string]*capController
+	cpu map[string]*capController
+
+	// Repeat-offender memory: VMs once identified as antagonists on a
+	// channel. When contention reappears with no controller in force,
+	// active prior offenders are re-engaged immediately instead of
+	// waiting out a fresh correlation window — identification is
+	// periodic, its conclusions persist (Algorithm 1).
+	ioOffenders  map[string]bool
+	cpuOffenders map[string]bool
+
+	// prevIOAnt / prevCPUAnt hold the previous interval's identification
+	// results: a *new* antagonist is engaged only when identified in two
+	// consecutive intervals, filtering one-off correlation flukes without
+	// meaningfully delaying real antagonists (whose correlation persists).
+	prevIOAnt  map[string]bool
+	prevCPUAnt map[string]bool
+
+	interval   int64
+	nextSample float64
+	trace      []TraceEntry
+
+	// unresolvable counts consecutive contended intervals with no
+	// low-priority antagonist to throttle; migrations records escalations.
+	unresolvable int
+	migrations   []string
+}
+
+// NewNodeManager creates the agent for one server.
+func NewNodeManager(cfg Config, cm *cloud.Manager, hv *hypervisor.Hypervisor) *NodeManager {
+	if cfg.IntervalSec <= 0 {
+		panic("core: nonpositive control interval")
+	}
+	return &NodeManager{
+		cfg:          cfg,
+		cm:           cm,
+		hv:           hv,
+		mon:          NewMonitor(hv, cfg.EWMAAlpha),
+		corr:         NewCorrelator(cfg.CorrWindow, cfg.CorrThreshold),
+		io:           make(map[string]*capController),
+		cpu:          make(map[string]*capController),
+		ioOffenders:  make(map[string]bool),
+		cpuOffenders: make(map[string]bool),
+		prevIOAnt:    make(map[string]bool),
+		prevCPUAnt:   make(map[string]bool),
+	}
+}
+
+// ServerID returns the id of the managed server.
+func (nm *NodeManager) ServerID() string { return nm.hv.ServerID() }
+
+// Trace returns the recorded control history.
+func (nm *NodeManager) Trace() []TraceEntry { return append([]TraceEntry(nil), nm.trace...) }
+
+// Correlator exposes the identification state (for tests and traces).
+func (nm *NodeManager) Correlator() *Correlator { return nm.corr }
+
+// Migrations returns the VM ids this agent asked the cloud manager to
+// move off its server (empty unless EnableMigration).
+func (nm *NodeManager) Migrations() []string { return append([]string(nil), nm.migrations...) }
+
+// Tick implements sim.Tickable; the agent acts every IntervalSec of
+// simulated time. Register it after the cluster (priority +1) so it
+// observes completed intervals.
+func (nm *NodeManager) Tick(c *sim.Clock) {
+	now := c.Seconds()
+	if now < nm.nextSample {
+		return
+	}
+	nm.nextSample = now + nm.cfg.IntervalSec
+	nm.runInterval(now)
+}
+
+// runInterval executes one round of Algorithm 1.
+func (nm *NodeManager) runInterval(now float64) {
+	nm.interval++
+	// Step 1: fetch VM roles from the cloud manager (placement may have
+	// changed through arrivals, terminations or migration).
+	apps, err := nm.cm.HighPriorityApps(nm.ServerID())
+	if err != nil {
+		return
+	}
+	lowPri, err := nm.cm.LowPriorityVMs(nm.ServerID())
+	if err != nil {
+		return
+	}
+
+	// Step 2: sample the performance monitor.
+	s := nm.mon.Sample(now, nm.cfg.IntervalSec)
+
+	// Step 3: deviation signals — the maximum across the server's
+	// high-priority applications (usually there is exactly one).
+	var det Detection
+	appIDs := make([]string, 0, len(apps))
+	for id := range apps {
+		appIDs = append(appIDs, id)
+	}
+	sort.Strings(appIDs)
+	for _, id := range appIDs {
+		d := Detect(s, apps[id], nm.cfg.Thresholds)
+		det.IowaitDev = math.Max(det.IowaitDev, d.IowaitDev)
+		det.CPIDev = math.Max(det.CPIDev, d.CPIDev)
+		det.MeanIowait = math.Max(det.MeanIowait, d.MeanIowait)
+		det.MeanCPI = math.Max(det.MeanCPI, d.MeanCPI)
+		det.IOContention = det.IOContention || d.IOContention
+		det.CPUContention = det.CPUContention || d.CPUContention
+	}
+
+	// Step 4: update correlation state and identify antagonists. A VM is
+	// engaged once it is identified (or is a known offender) in two
+	// consecutive contended intervals.
+	nm.corr.Record(now, det, s, lowPri)
+	var ioAnt, cpuAnt []string
+	if det.IOContention {
+		ioAnt = nm.confirm(nm.corr.IOAntagonists(), nm.prevIOAnt, nm.ioOffenders)
+	} else {
+		nm.prevIOAnt = make(map[string]bool)
+	}
+	if det.CPUContention {
+		cpuAnt = nm.confirm(nm.corr.CPUAntagonists(), nm.prevCPUAnt, nm.cpuOffenders)
+	} else {
+		nm.prevCPUAnt = make(map[string]bool)
+	}
+
+	// Step 5: drive the controllers and apply caps.
+	if !nm.cfg.ObserveOnly {
+		nm.controlIO(det.IOContention, ioAnt, s)
+		nm.controlCPU(det.CPUContention, cpuAnt, s)
+	}
+
+	// Step 6 (extension, §IV-D2): when contention persists with no
+	// low-priority VM to throttle — i.e. high-priority applications are
+	// interfering with each other — escalate to the cloud manager, which
+	// may migrate one of the colliding apps' VMs off this server.
+	if nm.cfg.EnableMigration {
+		if det.Contention() && len(nm.io) == 0 && len(nm.cpu) == 0 && len(apps) >= 2 {
+			nm.unresolvable++
+			limit := nm.cfg.MigrationAfterIntervals
+			if limit == 0 {
+				limit = 3
+			}
+			if nm.unresolvable >= limit {
+				if moved, err := nm.cm.RebalanceHighPriority(nm.ServerID()); err == nil && moved != "" {
+					nm.migrations = append(nm.migrations, moved)
+				}
+				nm.unresolvable = 0
+			}
+		} else {
+			nm.unresolvable = 0
+		}
+	}
+
+	entry := TraceEntry{
+		TimeSec:        now,
+		IowaitDev:      det.IowaitDev,
+		CPIDev:         det.CPIDev,
+		MeanIowait:     det.MeanIowait,
+		MeanCPI:        det.MeanCPI,
+		IOContention:   det.IOContention,
+		CPUContention:  det.CPUContention,
+		IOAntagonists:  ioAnt,
+		CPUAntagonists: cpuAnt,
+		IOCaps:         make(map[string]float64, len(nm.io)),
+		CPUCaps:        make(map[string]float64, len(nm.cpu)),
+	}
+	for id, ctl := range nm.io {
+		entry.IOCaps[id] = ctl.policy.Cap() * ctl.initial
+	}
+	for id, ctl := range nm.cpu {
+		entry.CPUCaps[id] = ctl.policy.Cap() * ctl.initial
+	}
+	nm.trace = append(nm.trace, entry)
+}
+
+// confirm filters an identification list: identified VMs that were also
+// identified last interval (or are known offenders) pass; the rest are
+// remembered for next interval. The map is updated to this interval's
+// raw identifications.
+func (nm *NodeManager) confirm(identified []string, prev map[string]bool, offenders map[string]bool) []string {
+	var out []string
+	next := make(map[string]bool, len(identified))
+	for _, id := range identified {
+		next[id] = true
+		if prev[id] || offenders[id] {
+			out = append(out, id)
+		}
+	}
+	// Replace the channel's previous-identification set in place.
+	for id := range prev {
+		delete(prev, id)
+	}
+	for id := range next {
+		prev[id] = true
+	}
+	return out
+}
+
+// controlIO updates the I/O cap controllers. Per Equation 1, the
+// antagonist set is sticky: newly identified antagonists get controllers,
+// and while I/O contention persists (I(t) > H) *every* controlled VM
+// keeps decreasing — identification is periodic, not per-interval, so a
+// constant-rate antagonist that throttling has rendered uncorrelatable
+// stays managed. Controllers release once contention is gone and the
+// probing cap exceeds ReleaseFactor times the VM's original usage.
+func (nm *NodeManager) controlIO(contention bool, antagonists []string, s Sample) {
+	for _, id := range antagonists {
+		nm.ioOffenders[id] = true
+	}
+	// Re-engage active prior offenders during contention: identification
+	// conclusions persist, so a known antagonist that wakes up again is
+	// throttled immediately instead of waiting out a fresh correlation
+	// window.
+	if contention {
+		for id := range nm.ioOffenders {
+			if vs, ok := s.VMs[id]; ok && vs.IOPS > 0 {
+				antagonists = append(antagonists, id)
+			}
+		}
+	}
+	for _, id := range antagonists {
+		if _, ok := nm.io[id]; !ok {
+			vs := s.VMs[id]
+			init := vs.IOPS
+			if init <= 0 {
+				continue // nothing observed to base a cap on yet
+			}
+			opSize := 4096.0
+			if vs.IOPS > 0 && vs.IOThroughputBps > 0 {
+				opSize = vs.IOThroughputBps / vs.IOPS
+			}
+			nm.io[id] = &capController{policy: nm.newPolicy(), initial: init, opSize: opSize}
+		}
+	}
+	for id, ctl := range nm.io {
+		frac := ctl.policy.Update(nm.interval, contention)
+		if !contention && frac >= nm.cfg.ReleaseFactor {
+			nm.hv.SetBlkioThrottleIOPS(id, 0)
+			nm.hv.SetBlkioThrottleBPS(id, 0)
+			delete(nm.io, id)
+			continue
+		}
+		if err := nm.hv.SetBlkioThrottleIOPS(id, frac*ctl.initial); err != nil {
+			delete(nm.io, id) // domain gone (terminated or migrated)
+			continue
+		}
+		nm.hv.SetBlkioThrottleBPS(id, frac*ctl.initial*ctl.opSize)
+	}
+}
+
+// controlCPU mirrors controlIO for the vcpu-quota hard cap.
+func (nm *NodeManager) controlCPU(contention bool, antagonists []string, s Sample) {
+	for _, id := range antagonists {
+		nm.cpuOffenders[id] = true
+	}
+	if contention {
+		for id := range nm.cpuOffenders {
+			if vs, ok := s.VMs[id]; ok && vs.CPUUsageCores > 0 {
+				antagonists = append(antagonists, id)
+			}
+		}
+	}
+	for _, id := range antagonists {
+		if _, ok := nm.cpu[id]; !ok {
+			vs := s.VMs[id]
+			init := vs.CPUUsageCores
+			if init <= 0 {
+				continue
+			}
+			nm.cpu[id] = &capController{policy: nm.newPolicy(), initial: init}
+		}
+	}
+	for id, ctl := range nm.cpu {
+		frac := ctl.policy.Update(nm.interval, contention)
+		if !contention && frac >= nm.cfg.ReleaseFactor {
+			nm.hv.SetVCPUQuota(id, 0)
+			delete(nm.cpu, id)
+			continue
+		}
+		if err := nm.hv.SetVCPUQuota(id, frac*ctl.initial); err != nil {
+			delete(nm.cpu, id)
+		}
+	}
+}
+
+// newPolicy builds a normalized cap controller: C starts at 1 (the VM's
+// observed usage), floored at MinCapFraction and with probing bounded at
+// ReleaseFactor so a re-throttle bites immediately. The default is the
+// paper's CUBIC (Eq. 1); Config.NewPolicy substitutes an alternative for
+// the control-policy ablation.
+func (nm *NodeManager) newPolicy() CapPolicy {
+	if nm.cfg.NewPolicy != nil {
+		return nm.cfg.NewPolicy()
+	}
+	cfg := nm.cfg.Cubic
+	cfg.MinCap = nm.cfg.MinCapFraction
+	cfg.MaxCap = nm.cfg.ReleaseFactor
+	return NewCubic(cfg, 1)
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"perfcloud/internal/cloud"
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/hypervisor"
+	"perfcloud/internal/sim"
+)
+
+// System is PerfCloud deployed across a cluster: one decentralized node
+// manager per physical server, each acting only on its own machine
+// (§III-D, Fig. 8). There is no central controller — the managers share
+// nothing but the cloud manager's read-only VM metadata.
+type System struct {
+	managers []*NodeManager
+}
+
+// Attach deploys PerfCloud on every server of the cluster and registers
+// the agents with the engine at priority +1, after the resource pipeline,
+// so each control interval observes completed measurements.
+func Attach(eng *sim.Engine, cl *cluster.Cluster, cm *cloud.Manager, cfg Config) *System {
+	sys := &System{}
+	for _, srv := range cl.Servers() {
+		nm := NewNodeManager(cfg, cm, hypervisor.New(srv))
+		sys.managers = append(sys.managers, nm)
+		eng.RegisterPriority(nm, 1)
+	}
+	return sys
+}
+
+// Managers returns the per-server agents in server order.
+func (s *System) Managers() []*NodeManager { return append([]*NodeManager(nil), s.managers...) }
+
+// Manager returns the agent for the given server id, or nil.
+func (s *System) Manager(serverID string) *NodeManager {
+	for _, nm := range s.managers {
+		if nm.ServerID() == serverID {
+			return nm
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// CapPolicy is the per-antagonist cap-control strategy driven by the
+// node manager each interval: contention reports I(t) > H. The paper's
+// policy is Cubic (Eq. 1); AIMD is the classical alternative kept for
+// the D3 ablation in DESIGN.md (control stability: cap oscillation,
+// victim JCT, antagonist throughput).
+type CapPolicy interface {
+	// Update advances one control interval and returns the new cap.
+	Update(interval int64, contention bool) float64
+	// Cap returns the current cap without advancing.
+	Cap() float64
+}
+
+var _ CapPolicy = (*Cubic)(nil)
+
+// AIMD is the additive-increase / multiplicative-decrease policy:
+// on contention the cap is cut to (1-Beta)*cap; otherwise it grows by a
+// fixed Step per interval. Compared to CUBIC it lacks the plateau around
+// the last-known-good cap, so after recovering it immediately re-enters
+// the contention region and oscillates — the instability §III-C cites
+// as the reason for choosing CUBIC.
+type AIMD struct {
+	Beta   float64 // multiplicative decrease factor, in (0,1)
+	Step   float64 // additive increase per interval
+	MinCap float64
+	MaxCap float64 // 0 = unbounded
+
+	cap float64
+}
+
+// NewAIMD creates an AIMD controller starting at the observed usage.
+func NewAIMD(beta, step, initialCap float64) *AIMD {
+	if beta <= 0 || beta >= 1 {
+		panic(fmt.Sprintf("core: AIMD beta %v out of (0,1)", beta))
+	}
+	if step <= 0 {
+		panic("core: AIMD step must be positive")
+	}
+	if initialCap <= 0 {
+		panic("core: AIMD initial cap must be positive")
+	}
+	return &AIMD{Beta: beta, Step: step, cap: initialCap}
+}
+
+// Cap implements CapPolicy.
+func (a *AIMD) Cap() float64 { return a.cap }
+
+// Update implements CapPolicy.
+func (a *AIMD) Update(interval int64, contention bool) float64 {
+	if contention {
+		a.cap *= 1 - a.Beta
+		if a.cap < a.MinCap {
+			a.cap = a.MinCap
+		}
+		return a.cap
+	}
+	a.cap += a.Step
+	if a.MaxCap > 0 && a.cap > a.MaxCap {
+		a.cap = a.MaxCap
+	}
+	return a.cap
+}

@@ -1,0 +1,660 @@
+// Package exec is the task-execution substrate shared by the MapReduce
+// and Spark framework simulators: fluid-model tasks, attempts, per-VM
+// executors (cluster.Workloads that turn granted resources into task
+// progress), and TaskSets — groups of tasks scheduled onto a pool of
+// executors with locality preference, straggler re-execution hooks and
+// the kill accounting the paper's resource-efficiency metric needs.
+//
+// A task is modelled as two coupled amounts of work: bytes of block I/O
+// and instructions to retire. Instruction progress is gated by I/O
+// progress (a map task cannot process records it has not read), so disk
+// contention slows I/O-bound tasks while memory contention (via inflated
+// CPI reducing instructions per granted cycle) slows compute-bound ones —
+// the two interference channels PerfCloud detects.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perfcloud/internal/cluster"
+)
+
+// TaskSpec is the immutable description of one task's work and shape.
+type TaskSpec struct {
+	ID           string
+	IOBytes      float64 // block input (or shuffle) bytes to read
+	OpBytes      float64 // I/O granularity; 0 defaults to 256 KiB
+	Instructions float64 // instructions to retire
+	MaxIORate    float64 // single-stream read rate limit, bytes/s; 0 = 150 MB/s
+
+	// InputKey identifies the task's input content (e.g. "file/b007").
+	// Attempts launched on a server whose page cache holds the key read
+	// from memory instead of the shared disk; completing a cold read
+	// warms the cache. Empty disables caching (shuffle and spill data is
+	// attempt-private).
+	InputKey string
+
+	// Memory behaviour while executing (see memsys.Request).
+	CoreCPI         float64
+	LLCRefsPerInstr float64
+	BytesPerInstr   float64
+	WorkingSetBytes float64
+
+	// PreferredVMs lists VM ids holding a local replica of the input;
+	// the scheduler prefers them (HDFS locality).
+	PreferredVMs []string
+}
+
+const (
+	defaultOpBytes   = 256 << 10
+	defaultMaxIORate = 150e6
+	workEpsilon      = 1e-6
+)
+
+// AttemptState tracks an attempt's lifecycle.
+type AttemptState int
+
+const (
+	// AttemptRunning means the attempt occupies an executor slot.
+	AttemptRunning AttemptState = iota
+	// AttemptCompleted means the attempt finished all its work.
+	AttemptCompleted
+	// AttemptKilled means the attempt was terminated (sibling finished
+	// first, or its job was killed); its runtime counts as waste.
+	AttemptKilled
+)
+
+// Attempt is one execution of a task on one executor.
+type Attempt struct {
+	task        *Task
+	executor    *Executor
+	speculative bool
+	state       AttemptState
+
+	startSec float64
+	endSec   float64
+
+	bytesDone   float64
+	instrDone   float64
+	cachedInput bool
+}
+
+// CachedInput reports whether the attempt's input was served from the
+// host page cache rather than the shared disk.
+func (a *Attempt) CachedInput() bool { return a.cachedInput }
+
+// Task returns the attempt's logical task.
+func (a *Attempt) Task() *Task { return a.task }
+
+// Executor returns the executor running (or that ran) the attempt.
+func (a *Attempt) Executor() *Executor { return a.executor }
+
+// Speculative reports whether this is a speculative (backup) copy.
+func (a *Attempt) Speculative() bool { return a.speculative }
+
+// State returns the attempt's lifecycle state.
+func (a *Attempt) State() AttemptState { return a.state }
+
+// Progress returns completion in [0, 1]: the average of the I/O and
+// compute fractions over the dimensions the task actually has.
+func (a *Attempt) Progress() float64 {
+	s := a.task.spec
+	var sum, n float64
+	if s.IOBytes > 0 {
+		sum += math.Min(1, a.bytesDone/s.IOBytes)
+		n++
+	}
+	if s.Instructions > 0 {
+		sum += math.Min(1, a.instrDone/s.Instructions)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / n
+}
+
+// ProgressRate returns progress per second since launch — the quantity
+// LATE ranks stragglers by. It is 0 in the attempt's launch second.
+func (a *Attempt) ProgressRate(nowSec float64) float64 {
+	el := nowSec - a.startSec
+	if el < 1 {
+		return 0
+	}
+	return a.Progress() / el
+}
+
+// Runtime returns the attempt's elapsed runtime in seconds; for running
+// attempts it is measured up to nowSec.
+func (a *Attempt) Runtime(nowSec float64) float64 {
+	if a.state == AttemptRunning {
+		return nowSec - a.startSec
+	}
+	return a.endSec - a.startSec
+}
+
+// StartSec returns the attempt's launch time.
+func (a *Attempt) StartSec() float64 { return a.startSec }
+
+// done reports whether both work dimensions are exhausted.
+func (a *Attempt) done() bool {
+	s := a.task.spec
+	return a.bytesDone >= s.IOBytes-workEpsilon && a.instrDone >= s.Instructions-workEpsilon
+}
+
+// Task is a logical unit of work; it completes when any attempt does.
+type Task struct {
+	spec      TaskSpec
+	attempts  []*Attempt
+	completed *Attempt
+}
+
+// NewTask creates a task from a spec.
+func NewTask(spec TaskSpec) *Task { return &Task{spec: spec} }
+
+// Spec returns the task's specification.
+func (t *Task) Spec() TaskSpec { return t.spec }
+
+// Attempts returns all attempts launched for the task.
+func (t *Task) Attempts() []*Attempt { return append([]*Attempt(nil), t.attempts...) }
+
+// Completed returns the winning attempt, or nil while unfinished.
+func (t *Task) Completed() *Attempt { return t.completed }
+
+// Done reports whether some attempt completed the task.
+func (t *Task) Done() bool { return t.completed != nil }
+
+// Running returns the task's currently running attempts.
+func (t *Task) Running() []*Attempt {
+	var out []*Attempt
+	for _, a := range t.attempts {
+		if a.state == AttemptRunning {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Executor runs task attempts inside one VM; it implements
+// cluster.Workload. Slots bound concurrent attempts (the paper's VMs run
+// two task slots on their two vcpus).
+type Executor struct {
+	vm      *cluster.VM
+	slots   int
+	running []*Attempt
+
+	// lastNow tracks elapsed simulated time as observed through Advance,
+	// so attempt end times can be stamped without threading the clock
+	// through cluster.Workload.
+	lastNow float64
+}
+
+var _ cluster.Workload = (*Executor)(nil)
+
+// NewExecutor creates an executor bound to a VM and attaches it as the
+// VM's workload.
+func NewExecutor(vm *cluster.VM, slots int) *Executor {
+	if slots <= 0 {
+		panic("exec: executor needs at least one slot")
+	}
+	e := &Executor{vm: vm, slots: slots}
+	vm.SetWorkload(e)
+	return e
+}
+
+// VM returns the executor's VM.
+func (e *Executor) VM() *cluster.VM { return e.vm }
+
+// SyncClock aligns the executor's internal time with the engine clock.
+// Frameworks call it every tick before scheduling, so attempt end times
+// stamped inside Advance agree with engine time even for executors
+// created mid-simulation.
+func (e *Executor) SyncClock(nowSec float64) { e.lastNow = nowSec }
+
+// Name implements cluster.Workload.
+func (e *Executor) Name() string { return "executor/" + e.vm.ID() }
+
+// FreeSlots returns the number of unoccupied task slots.
+func (e *Executor) FreeSlots() int { return e.slots - len(e.running) }
+
+// Running returns the attempts currently occupying slots.
+func (e *Executor) Running() []*Attempt { return append([]*Attempt(nil), e.running...) }
+
+// RunsTask reports whether some running attempt belongs to the task.
+func (e *Executor) RunsTask(t *Task) bool {
+	for _, a := range e.running {
+		if a.task == t {
+			return true
+		}
+	}
+	return false
+}
+
+// launch places a new attempt of t on this executor.
+func (e *Executor) launch(t *Task, nowSec float64, speculative bool) *Attempt {
+	if e.FreeSlots() <= 0 {
+		panic(fmt.Sprintf("exec: no free slot on %s", e.Name()))
+	}
+	a := &Attempt{task: t, executor: e, speculative: speculative, startSec: nowSec}
+	if key := t.spec.InputKey; key != "" {
+		cache := e.vm.Server().Cache()
+		if cache.Has(key, nowSec) {
+			a.cachedInput = true
+		} else {
+			// Register the in-flight read: a concurrent or later reader of
+			// the same content on this host coalesces with it (page-cache
+			// readahead serves the second reader as pages arrive).
+			cache.Put(key, t.spec.IOBytes, nowSec)
+		}
+	}
+	t.attempts = append(t.attempts, a)
+	e.running = append(e.running, a)
+	return a
+}
+
+// remove drops an attempt from the running list.
+func (e *Executor) remove(a *Attempt) {
+	for i, r := range e.running {
+		if r == a {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// cacheReadRate is the rate at which a page-cache-resident input is
+// consumed (memory copy, far above disk streaming speed).
+const cacheReadRate = 1e9
+
+// attemptDemand returns one attempt's per-tick demand components. A
+// cache-served input places no demand on the shared disk.
+func attemptDemand(a *Attempt, tickSec float64) (ioBytes, cpuSec float64) {
+	s := a.task.spec
+	if !a.cachedInput {
+		rate := s.MaxIORate
+		if rate == 0 {
+			rate = defaultMaxIORate
+		}
+		ioBytes = math.Min(math.Max(0, s.IOBytes-a.bytesDone), rate*tickSec)
+	}
+	if s.Instructions-a.instrDone > workEpsilon {
+		cpuSec = tickSec // one core per slot
+	}
+	return ioBytes, cpuSec
+}
+
+// Demand implements cluster.Workload: the sum of the running attempts'
+// demands, with demand-weighted memory behaviour.
+func (e *Executor) Demand(tickSec float64) cluster.Demand {
+	var d cluster.Demand
+	var wsum float64
+	for _, a := range e.running {
+		s := a.task.spec
+		ioBytes, cpuSec := attemptDemand(a, tickSec)
+		op := s.OpBytes
+		if op == 0 {
+			op = defaultOpBytes
+		}
+		d.IOBytes += ioBytes
+		d.IOOps += ioBytes / op
+		d.CPUSeconds += cpuSec
+		w := cpuSec + ioBytes/defaultMaxIORate // rough weight
+		if w == 0 {
+			continue
+		}
+		d.CoreCPI += w * s.CoreCPI
+		d.LLCRefsPerInstr += w * s.LLCRefsPerInstr
+		d.BytesPerInstr += w * s.BytesPerInstr
+		d.WorkingSetBytes += w * s.WorkingSetBytes
+		wsum += w
+	}
+	if wsum > 0 {
+		d.CoreCPI /= wsum
+		d.LLCRefsPerInstr /= wsum
+		d.BytesPerInstr /= wsum
+		d.WorkingSetBytes /= wsum
+	}
+	if d.CPUSeconds > 0 && d.CoreCPI == 0 {
+		d.CoreCPI = 1
+	}
+	return d
+}
+
+// Advance implements cluster.Workload: split the VM's grant across the
+// running attempts in proportion to their demands, gate instruction
+// progress on I/O progress, and retire finished attempts.
+func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
+	var totIO, totCPU float64
+	ios := make([]float64, len(e.running))
+	cpus := make([]float64, len(e.running))
+	for i, a := range e.running {
+		ios[i], cpus[i] = attemptDemand(a, tickSec)
+		totIO += ios[i]
+		totCPU += cpus[i]
+	}
+	for i, a := range e.running {
+		s := a.task.spec
+		if a.cachedInput {
+			a.bytesDone += math.Min(math.Max(0, s.IOBytes-a.bytesDone), cacheReadRate*tickSec)
+		} else if totIO > 0 {
+			a.bytesDone += g.IOBytes * ios[i] / totIO
+		}
+		if totCPU > 0 && s.Instructions > 0 {
+			instr := g.Instructions * cpus[i] / totCPU
+			// Instruction progress cannot outrun the fraction of input read.
+			allowed := s.Instructions - a.instrDone
+			if s.IOBytes > 0 {
+				frac := math.Min(1, a.bytesDone/s.IOBytes)
+				allowed = math.Min(allowed, s.Instructions*frac-a.instrDone)
+			}
+			if allowed < 0 {
+				allowed = 0
+			}
+			a.instrDone += math.Min(instr, allowed)
+		}
+	}
+	// Retire completed attempts after the whole tick is applied.
+	var still []*Attempt
+	endSec := e.lastNow + tickSec
+	for _, a := range e.running {
+		if a.done() {
+			a.state = AttemptCompleted
+			a.endSec = endSec
+		} else {
+			still = append(still, a)
+		}
+	}
+	e.running = still
+	e.lastNow = endSec
+}
+
+// Done implements cluster.Workload; executors are persistent services.
+func (e *Executor) Done() bool { return false }
+
+// Pool is an ordered set of executors used by a TaskSet scheduler.
+type Pool []*Executor
+
+// FreeSlots returns the total free slots across the pool.
+func (p Pool) FreeSlots() int {
+	n := 0
+	for _, e := range p {
+		n += e.FreeSlots()
+	}
+	return n
+}
+
+// byID returns the executor whose VM has the given id, or nil.
+func (p Pool) byID(id string) *Executor {
+	for _, e := range p {
+		if e.vm.ID() == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// Speculator decides which tasks deserve a speculative (backup) attempt.
+// Implementations live in the straggler package (LATE and a naive
+// threshold speculator); a nil Speculator disables speculation.
+type Speculator interface {
+	// Candidates returns tasks worth backing up, most urgent first.
+	Candidates(ts *TaskSet, nowSec float64) []*Task
+}
+
+// TaskSet is a schedulable group of tasks (a map wave, a reduce wave, or
+// a Spark stage). It launches pending tasks onto free slots with locality
+// preference, collects completions, kills redundant sibling attempts, and
+// consults an optional Speculator for straggler mitigation.
+type TaskSet struct {
+	name    string
+	tasks   []*Task
+	pending []*Task
+	spec    Speculator
+
+	killed bool
+}
+
+// NewTaskSet builds a set from specs. The speculator may be nil.
+func NewTaskSet(name string, specs []TaskSpec, spec Speculator) *TaskSet {
+	ts := &TaskSet{name: name, spec: spec}
+	for _, s := range specs {
+		t := NewTask(s)
+		ts.tasks = append(ts.tasks, t)
+		ts.pending = append(ts.pending, t)
+	}
+	return ts
+}
+
+// Name returns the set's name.
+func (ts *TaskSet) Name() string { return ts.name }
+
+// Tasks returns all tasks in the set.
+func (ts *TaskSet) Tasks() []*Task { return append([]*Task(nil), ts.tasks...) }
+
+// Done reports whether every task has completed (or the set was killed).
+func (ts *TaskSet) Done() bool {
+	if ts.killed {
+		return true
+	}
+	for _, t := range ts.tasks {
+		if !t.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Killed reports whether the set was killed before completing.
+func (ts *TaskSet) Killed() bool { return ts.killed }
+
+// Tick runs one scheduling round against the pool: harvest completions,
+// kill redundant siblings, launch pending tasks (locality first), then
+// let the speculator spend leftover slots.
+func (ts *TaskSet) Tick(nowSec float64, pool Pool) {
+	if ts.killed {
+		return
+	}
+	// Harvest completions; kill sibling attempts of completed tasks.
+	for _, t := range ts.tasks {
+		if t.completed != nil {
+			ts.killSiblings(t, nowSec)
+			continue
+		}
+		for _, a := range t.attempts {
+			if a.state == AttemptCompleted {
+				t.completed = a
+				ts.killSiblings(t, nowSec)
+				break
+			}
+		}
+	}
+	// Launch pending tasks.
+	var stillPending []*Task
+	for _, t := range ts.pending {
+		e := ts.pickExecutor(t, pool)
+		if e == nil {
+			stillPending = append(stillPending, t)
+			continue
+		}
+		e.launch(t, nowSec, false)
+	}
+	ts.pending = stillPending
+
+	// Speculation with leftover slots.
+	if ts.spec == nil || len(ts.pending) > 0 || pool.FreeSlots() == 0 {
+		return
+	}
+	for _, t := range ts.spec.Candidates(ts, nowSec) {
+		if t.Done() {
+			continue
+		}
+		e := ts.pickSpeculativeExecutor(t, pool, nowSec)
+		if e == nil {
+			continue
+		}
+		e.launch(t, nowSec, true)
+		if pool.FreeSlots() == 0 {
+			return
+		}
+	}
+}
+
+// killSiblings terminates still-running attempts of a completed task.
+func (ts *TaskSet) killSiblings(t *Task, nowSec float64) {
+	for _, a := range t.attempts {
+		if a.state == AttemptRunning && a != t.completed {
+			a.state = AttemptKilled
+			a.endSec = nowSec
+			a.executor.remove(a)
+		}
+	}
+}
+
+// Kill terminates the whole set: running attempts are killed and pending
+// tasks dropped (Dolly kills the loser clones of a job).
+func (ts *TaskSet) Kill(nowSec float64) {
+	if ts.killed {
+		return
+	}
+	ts.killed = true
+	ts.pending = nil
+	for _, t := range ts.tasks {
+		for _, a := range t.attempts {
+			if a.state == AttemptRunning {
+				a.state = AttemptKilled
+				a.endSec = nowSec
+				a.executor.remove(a)
+			}
+		}
+	}
+}
+
+// pickExecutor chooses a free slot for a fresh attempt: the least-loaded
+// preferred (replica-local) VM if one has room — so concurrent readers of
+// the same block spread across its replicas — else the free executor on
+// the least-busy physical server (ties broken by most free slots, then
+// pool order). Server-level spreading is what real cluster schedulers
+// do, and it is what gives cloned jobs placement diversity: each clone
+// lands on a different set of machines, so at least one copy tends to
+// escape the antagonized servers.
+func (ts *TaskSet) pickExecutor(t *Task, pool Pool) *Executor {
+	var pref *Executor
+	for _, id := range t.spec.PreferredVMs {
+		e := pool.byID(id)
+		if e == nil || e.FreeSlots() <= 0 {
+			continue
+		}
+		if pref == nil || e.FreeSlots() > pref.FreeSlots() {
+			pref = e
+		}
+	}
+	if pref != nil {
+		return pref
+	}
+	load := pool.serverLoads()
+	var best *Executor
+	bestLoad := 0
+	for _, e := range pool {
+		if e.FreeSlots() <= 0 {
+			continue
+		}
+		l := load[e.vm.Server()]
+		if best == nil || l < bestLoad ||
+			(l == bestLoad && e.FreeSlots() > best.FreeSlots()) {
+			best, bestLoad = e, l
+		}
+	}
+	return best
+}
+
+// serverLoads counts running attempts per physical server across the pool.
+func (p Pool) serverLoads() map[*cluster.Server]int {
+	out := make(map[*cluster.Server]int)
+	for _, e := range p {
+		out[e.vm.Server()] += len(e.running)
+	}
+	return out
+}
+
+// pickSpeculativeExecutor avoids executors already running the task (a
+// backup on the same contended VM would be pointless) and prefers fast
+// executors — those whose current attempts show the highest progress
+// rates — implementing LATE's rule of not launching backups on slow
+// nodes. Idle executors are assumed fast.
+func (ts *TaskSet) pickSpeculativeExecutor(t *Task, pool Pool, nowSec float64) *Executor {
+	var best *Executor
+	bestScore := math.Inf(-1)
+	for _, e := range pool {
+		if e.FreeSlots() <= 0 || e.RunsTask(t) {
+			continue
+		}
+		score := e.speedScore(nowSec)
+		if best == nil || score > bestScore ||
+			(score == bestScore && e.FreeSlots() > best.FreeSlots()) {
+			best, bestScore = e, score
+		}
+	}
+	return best
+}
+
+// speedScore estimates how fast this executor's VM currently is: the
+// mean progress rate of its running attempts, or +Inf when idle.
+func (e *Executor) speedScore(nowSec float64) float64 {
+	var sum float64
+	n := 0
+	for _, a := range e.running {
+		if r := a.ProgressRate(nowSec); r > 0 {
+			sum += r
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// RunningAttempts returns all currently running attempts in the set,
+// sorted by task id for determinism.
+func (ts *TaskSet) RunningAttempts() []*Attempt {
+	var out []*Attempt
+	for _, t := range ts.tasks {
+		out = append(out, t.Running()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].task.spec.ID < out[j].task.spec.ID })
+	return out
+}
+
+// Accounting tallies the paper's resource-utilization-efficiency inputs.
+type Accounting struct {
+	SuccessfulSeconds float64 // runtime of winning attempts
+	TotalSeconds      float64 // runtime of all attempts, incl. killed
+}
+
+// Efficiency returns successful/total (1 when nothing ran).
+func (a Accounting) Efficiency() float64 {
+	if a.TotalSeconds == 0 {
+		return 1
+	}
+	return a.SuccessfulSeconds / a.TotalSeconds
+}
+
+// Account sums attempt runtimes for the set as of nowSec. A killed set
+// contributes no successful time: the output of a killed job clone is
+// discarded, so even its completed tasks are waste (the paper's Fig. 11c
+// resource-utilization-efficiency accounting).
+func (ts *TaskSet) Account(nowSec float64) Accounting {
+	var acc Accounting
+	for _, t := range ts.tasks {
+		for _, a := range t.attempts {
+			rt := a.Runtime(nowSec)
+			acc.TotalSeconds += rt
+			if t.completed == a && !ts.killed {
+				acc.SuccessfulSeconds += rt
+			}
+		}
+	}
+	return acc
+}

@@ -1,0 +1,466 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"perfcloud/internal/core"
+	"perfcloud/internal/exec"
+	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/spark"
+	"perfcloud/internal/stats"
+	"perfcloud/internal/straggler"
+	"perfcloud/internal/trace"
+	"perfcloud/internal/workloads"
+)
+
+// Scheme is one straggler-mitigation / isolation policy under test.
+type Scheme struct {
+	Name       string
+	Speculator exec.Speculator
+	Clones     int // >1 enables Dolly-style job cloning
+	PerfCloud  bool
+	// CloneTaskThreshold bounds which jobs Dolly clones: Dolly is a
+	// small-job technique (the paper: "full cloning of small jobs"), so
+	// only jobs with at most this many tasks get clones. 0 means the
+	// Dolly default of 10.
+	CloneTaskThreshold int
+}
+
+// cloneThreshold resolves the small-job cutoff.
+func (s Scheme) cloneThreshold() int {
+	if s.CloneTaskThreshold == 0 {
+		return 10
+	}
+	return s.CloneTaskThreshold
+}
+
+// SchemeDefault is the unmitigated system.
+func SchemeDefault() Scheme { return Scheme{Name: "default", Clones: 1} }
+
+// SchemeLATE applies LATE speculative execution.
+func SchemeLATE() Scheme { return Scheme{Name: "LATE", Speculator: straggler.NewLATE(), Clones: 1} }
+
+// SchemeDolly clones every job n times and takes the first finisher.
+func SchemeDolly(n int) Scheme { return Scheme{Name: fmt.Sprintf("Dolly-%d", n), Clones: n} }
+
+// SchemePerfCloud deploys the paper's system.
+func SchemePerfCloud() Scheme { return Scheme{Name: "PerfCloud", Clones: 1, PerfCloud: true} }
+
+// LargeScaleConfig sizes the Figure 11 experiment.
+type LargeScaleConfig struct {
+	Seed             int64
+	Servers          int
+	WorkersPerServer int
+	NumMR            int
+	NumSpark         int
+	Fio              int // fio antagonist VMs, randomly placed
+	Streams          int // STREAM antagonist VMs, randomly placed
+	InterarrivalSec  float64
+	Limit            time.Duration
+}
+
+// DefaultLargeScaleConfig mirrors the paper's 152-node / 15-server setup
+// with its 100 MapReduce + 100 Spark workload mixes (80% small jobs).
+func DefaultLargeScaleConfig() LargeScaleConfig {
+	return LargeScaleConfig{
+		Seed:             1,
+		Servers:          15,
+		WorkersPerServer: 10,
+		NumMR:            100,
+		NumSpark:         100,
+		Fio:              6,
+		Streams:          6,
+		InterarrivalSec:  5,
+		Limit:            4 * time.Hour,
+	}
+}
+
+// jobSpec is one logical job of the mix.
+type jobSpec struct {
+	idx       int
+	spark     bool
+	bench     int // index into the framework's benchmark triple
+	tasks     int
+	arriveSec float64
+}
+
+// generateMix derives the deterministic workload mix: 80% of jobs have
+// fewer than 10 tasks, 20% have 10-50 (§IV-C).
+func generateMix(cfg LargeScaleConfig) []jobSpec {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	var specs []jobSpec
+	add := func(n int, spark bool) {
+		for i := 0; i < n; i++ {
+			tasks := 2 + rng.Intn(8) // 2..9
+			if rng.Float64() < 0.2 {
+				tasks = 10 + rng.Intn(41) // 10..50
+			}
+			specs = append(specs, jobSpec{spark: spark, bench: rng.Intn(3), tasks: tasks})
+		}
+	}
+	add(cfg.NumMR, false)
+	add(cfg.NumSpark, true)
+	rng.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+	for i := range specs {
+		specs[i].idx = i
+		specs[i].arriveSec = float64(i) * cfg.InterarrivalSec
+	}
+	return specs
+}
+
+// Mix jobs use large (256 MB) blocks and a compute multiplier for Spark
+// iterations so small jobs run tens of seconds, as the paper's real
+// Hadoop/Spark jobs do, rather than the few seconds a bare fluid model
+// would take. Without realistic durations no scheme — speculation,
+// cloning or throttling at a 5-second control interval — has time to act
+// within a job's lifetime.
+const (
+	mixBlockBytes = 256 << 20
+	mixWorkScale  = 4
+)
+
+// mrFor builds the MapReduce config for a spec (input file per size).
+func mrFor(s jobSpec) mapreduce.JobConfig {
+	input := fmt.Sprintf("mix-input-%02d", s.tasks)
+	reduces := s.tasks / 2
+	if reduces < 1 {
+		reduces = 1
+	}
+	switch s.bench {
+	case 0:
+		return mapreduce.Terasort(input, reduces)
+	case 1:
+		return mapreduce.Wordcount(input, reduces)
+	default:
+		return mapreduce.InvertedIndex(input, reduces)
+	}
+}
+
+// sparkFor builds the Spark config for a spec. The load stage carries a
+// per-logical-job input key so clone re-reads hit the page cache.
+func sparkFor(s jobSpec) spark.AppConfig {
+	bytes := float64(s.tasks) * mixBlockBytes
+	var cfg spark.AppConfig
+	switch s.bench {
+	case 0:
+		cfg = spark.LogisticRegression(s.tasks, 2, bytes)
+	case 1:
+		cfg = spark.PageRank(s.tasks, 2, bytes)
+	default:
+		cfg = spark.SVM(s.tasks, 2, bytes)
+	}
+	cfg.Stages[0].InputKeyPrefix = fmt.Sprintf("mix-%03d", s.idx)
+	for i := range cfg.Stages {
+		cfg.Stages[i].InstrPerTask *= mixWorkScale
+	}
+	return cfg
+}
+
+// logicalJob tracks one mix entry's clones at runtime.
+type logicalJob struct {
+	spec  jobSpec
+	group *straggler.CloneGroup
+	mr    *mapreduce.Job
+	app   *spark.App
+}
+
+func (l *logicalJob) done() bool {
+	if l.group != nil {
+		return l.group.Done()
+	}
+	if l.mr != nil {
+		return l.mr.Done()
+	}
+	return l.app.Done()
+}
+
+func (l *logicalJob) jct() float64 {
+	if l.group != nil {
+		return l.group.JCT()
+	}
+	if l.mr != nil {
+		return l.mr.JCT()
+	}
+	return l.app.JCT()
+}
+
+func (l *logicalJob) account(now float64) exec.Accounting {
+	if l.group != nil {
+		return l.group.Account(now)
+	}
+	if l.mr != nil {
+		return l.mr.Account(now)
+	}
+	return l.app.Account(now)
+}
+
+// MixOutcome is one scheme's run over the mix.
+type MixOutcome struct {
+	Scheme     string
+	JCTs       []float64 // per logical job, in mix order
+	Efficiency float64
+}
+
+// runMix executes the mix under one scheme, optionally with antagonists.
+func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
+	var pc *core.Config
+	if sch.PerfCloud {
+		pc = ControllerConfig()
+	}
+	tb := NewTestbed(TestbedConfig{
+		Seed:             cfg.Seed,
+		Servers:          cfg.Servers,
+		WorkersPerServer: cfg.WorkersPerServer, BlockBytes: mixBlockBytes,
+		Speculator: sch.Speculator,
+		PerfCloud:  pc,
+	})
+	specs := generateMix(cfg)
+	// One input file per distinct map count keeps DFS setup cheap.
+	sizes := map[int]bool{}
+	for _, s := range specs {
+		if !s.spark && !sizes[s.tasks] {
+			sizes[s.tasks] = true
+			tb.MustInput(fmt.Sprintf("mix-input-%02d", s.tasks), float64(s.tasks)*mixBlockBytes)
+		}
+	}
+	if withAntagonists {
+		placeAntagonists(tb, cfg)
+	}
+
+	jobs := make([]*logicalJob, len(specs))
+	next := 0
+	ticks := int64(cfg.Limit / tb.Eng.Clock().TickSize())
+	for i := int64(0); i < ticks; i++ {
+		now := tb.Eng.Clock().Seconds()
+		for next < len(specs) && specs[next].arriveSec <= now {
+			jobs[next] = submitLogical(tb, specs[next], sch)
+			next++
+		}
+		tb.Eng.Step()
+		if next == len(specs) && allDone(jobs) {
+			break
+		}
+	}
+	if !allDone(jobs) {
+		panic(fmt.Sprintf("experiments: mix under %s did not drain within %v", sch.Name, cfg.Limit))
+	}
+	now := tb.Eng.Clock().Seconds()
+	out := MixOutcome{Scheme: sch.Name}
+	var acc exec.Accounting
+	for _, j := range jobs {
+		out.JCTs = append(out.JCTs, j.jct())
+		a := j.account(now)
+		acc.SuccessfulSeconds += a.SuccessfulSeconds
+		acc.TotalSeconds += a.TotalSeconds
+	}
+	out.Efficiency = acc.Efficiency()
+	return out
+}
+
+// submitLogical submits one mix entry (n clones under Dolly).
+func submitLogical(tb *Testbed, s jobSpec, sch Scheme) *logicalJob {
+	now := tb.Eng.Clock().Seconds()
+	lj := &logicalJob{spec: s}
+	if sch.Clones <= 1 || s.tasks > sch.cloneThreshold() {
+		if s.spark {
+			a, err := tb.Driver.Submit(sparkFor(s), now)
+			if err != nil {
+				panic(err)
+			}
+			lj.app = a
+		} else {
+			j, err := tb.JT.Submit(mrFor(s), now)
+			if err != nil {
+				panic(err)
+			}
+			lj.mr = j
+		}
+		return lj
+	}
+	clones := make([]straggler.Clone, 0, sch.Clones)
+	for c := 0; c < sch.Clones; c++ {
+		if s.spark {
+			a, err := tb.Driver.Submit(sparkFor(s), now)
+			if err != nil {
+				panic(err)
+			}
+			clones = append(clones, a)
+		} else {
+			j, err := tb.JT.Submit(mrFor(s), now)
+			if err != nil {
+				panic(err)
+			}
+			clones = append(clones, j)
+		}
+	}
+	lj.group = tb.Dolly.Watch(fmt.Sprintf("job-%03d", s.idx), clones...)
+	return lj
+}
+
+func allDone(jobs []*logicalJob) bool {
+	for _, j := range jobs {
+		if j == nil || !j.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// placeAntagonists boots the fio and STREAM VMs on randomly chosen
+// servers with randomized burst phases (the paper randomly distributes
+// antagonists across the 15 physical servers).
+func placeAntagonists(tb *Testbed, cfg LargeScaleConfig) {
+	// Each antagonist is a sequence of minutes-long benchmark runs with
+	// pauses in between, like the fio/STREAM processes the paper launches
+	// repeatedly during a mix. Episodic activity also gives the
+	// identification channel the onsets it correlates on.
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	for i := 0; i < cfg.Fio; i++ {
+		pat := workloads.BurstPattern{
+			StartOffset: time.Duration(rng.Intn(60)) * time.Second,
+			On:          time.Duration(60+rng.Intn(60)) * time.Second,
+			Off:         time.Duration(15+rng.Intn(20)) * time.Second,
+		}
+		tb.AddAntagonist(rng.Intn(cfg.Servers), workloads.NewFioRandRead(pat))
+	}
+	// STREAM VMs land in pairs on a server: one alone does not
+	// oversubscribe a host's memory bandwidth — the paper's "group of
+	// antagonists that individually do not have much effect" (§III-B).
+	for i := 0; i < cfg.Streams; i += 2 {
+		srv := rng.Intn(cfg.Servers)
+		pat := workloads.BurstPattern{
+			StartOffset: time.Duration(rng.Intn(60)) * time.Second,
+			On:          time.Duration(60+rng.Intn(60)) * time.Second,
+			Off:         time.Duration(15+rng.Intn(20)) * time.Second,
+		}
+		tb.AddAntagonist(srv, workloads.NewStream(pat))
+		if i+1 < cfg.Streams {
+			tb.AddAntagonist(srv, workloads.NewStream(pat))
+		}
+	}
+}
+
+// fig11Bounds are the degradation buckets of the paper's breakdown bars.
+var fig11Bounds = []float64{0.10, 0.20, 0.30, 0.50}
+
+// Fig11Row is one scheme's summary for one framework ("all" aggregates).
+type Fig11Row struct {
+	Scheme       string
+	Framework    string // "all", "mapreduce" or "spark"
+	Buckets      *stats.Histogram
+	FracUnder10  float64 // jobs degraded < 10%
+	FracUnder30  float64 // jobs degraded < 30%
+	MeanDegraded float64 // mean degradation across jobs
+	Efficiency   float64 // only populated on the "all" row
+}
+
+// Fig11Result reproduces Figure 11: the per-framework job-performance
+// breakdowns of Figs. 11(a) and 11(b) and the resource-utilization
+// efficiency of Fig. 11(c), under LATE, Dolly-n and PerfCloud.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// Fig11 runs the full paper-size experiment.
+func Fig11(seed int64) Fig11Result {
+	cfg := DefaultLargeScaleConfig()
+	cfg.Seed = seed
+	return Fig11With(cfg, []Scheme{
+		SchemeLATE(), SchemeDolly(2), SchemeDolly(4), SchemeDolly(6), SchemePerfCloud(),
+	})
+}
+
+// Fig11With runs a custom mix size and scheme list (tests shrink it).
+func Fig11With(cfg LargeScaleConfig, schemes []Scheme) Fig11Result {
+	baseline := runMix(cfg, SchemeDefault(), false)
+	specs := generateMix(cfg)
+	var res Fig11Result
+	for _, sch := range schemes {
+		out := runMix(cfg, sch, true)
+		rows := map[string]*Fig11Row{}
+		for _, fw := range []string{"all", "mapreduce", "spark"} {
+			rows[fw] = &Fig11Row{
+				Scheme:    sch.Name,
+				Framework: fw,
+				Buckets:   stats.NewHistogram(fig11Bounds...),
+			}
+		}
+		counts := map[string]int{}
+		for i, jct := range out.JCTs {
+			base := baseline.JCTs[i]
+			if base <= 0 {
+				continue
+			}
+			deg := jct/base - 1
+			if deg < 0 {
+				deg = 0
+			}
+			fw := "mapreduce"
+			if specs[i].spark {
+				fw = "spark"
+			}
+			for _, key := range []string{"all", fw} {
+				row := rows[key]
+				row.Buckets.Add(deg)
+				row.MeanDegraded += deg
+				counts[key]++
+			}
+		}
+		for _, fw := range []string{"all", "mapreduce", "spark"} {
+			row := rows[fw]
+			if n := counts[fw]; n > 0 {
+				row.MeanDegraded /= float64(n)
+				row.FracUnder10 = row.Buckets.CumulativeFrac(0.10)
+				row.FracUnder30 = row.Buckets.CumulativeFrac(0.30)
+			}
+			if fw == "all" {
+				row.Efficiency = out.Efficiency
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	return res
+}
+
+// Table renders the Figure 11 summary: one section per framework (the
+// paper's 11a and 11b bars) plus the aggregate with efficiency (11c).
+func (r Fig11Result) Table() *trace.Table {
+	t := trace.New("Fig 11: large-scale mix — degradation breakdown (a: MapReduce, b: Spark) and efficiency (c)",
+		"scheme", "jobs", "<10%", "<20%", "<30%", "<50%", "mean degradation", "efficiency")
+	for _, fw := range []string{"mapreduce", "spark", "all"} {
+		for _, row := range r.Rows {
+			if row.Framework != fw {
+				continue
+			}
+			eff := ""
+			if fw == "all" {
+				eff = trace.Pct(row.Efficiency)
+			}
+			t.Addf(row.Scheme+" ("+fw+")",
+				row.Buckets.Total(),
+				trace.Pct(row.Buckets.CumulativeFrac(0.10)),
+				trace.Pct(row.Buckets.CumulativeFrac(0.20)),
+				trace.Pct(row.Buckets.CumulativeFrac(0.30)),
+				trace.Pct(row.Buckets.CumulativeFrac(0.50)),
+				trace.Pct(row.MeanDegraded),
+				eff)
+		}
+	}
+	return t
+}
+
+// Row returns the named scheme's aggregate ("all") row.
+func (r Fig11Result) Row(scheme string) Fig11Row { return r.RowFor(scheme, "all") }
+
+// RowFor returns the row for a scheme and framework ("all", "mapreduce"
+// or "spark").
+func (r Fig11Result) RowFor(scheme, framework string) Fig11Row {
+	for _, row := range r.Rows {
+		if row.Scheme == scheme && row.Framework == framework {
+			return row
+		}
+	}
+	return Fig11Row{}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"perfcloud/internal/core"
+	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/spark"
+	"perfcloud/internal/stats"
+	"perfcloud/internal/straggler"
+	"perfcloud/internal/trace"
+)
+
+// VariabilityConfig sizes the Figure 12 experiment: a 50-task terasort
+// and a 50-task-per-stage Spark logistic regression, repeated with
+// randomly placed antagonists, per scheme.
+type VariabilityConfig struct {
+	Seed             int64
+	Servers          int
+	WorkersPerServer int
+	Runs             int
+	Fio              int
+	Streams          int
+	Tasks            int
+	Limit            time.Duration
+}
+
+// DefaultVariabilityConfig mirrors the paper: 15 servers, 30 repetitions.
+func DefaultVariabilityConfig() VariabilityConfig {
+	return VariabilityConfig{
+		Seed:             1,
+		Servers:          15,
+		WorkersPerServer: 10,
+		Runs:             30,
+		Fio:              8,
+		Streams:          8,
+		Tasks:            50,
+		Limit:            time.Hour,
+	}
+}
+
+// Fig12Row is one (workload, scheme) distribution of normalized JCTs.
+type Fig12Row struct {
+	Workload string
+	Scheme   string
+	Summary  stats.Summary // of JCT normalized by the interference-free JCT
+}
+
+// Fig12Result reproduces Figure 12: JCT variability across repeated runs
+// with random antagonist placement, per scheme.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 runs the paper-size experiment for LATE, Dolly-4 and PerfCloud.
+func Fig12(seed int64) Fig12Result {
+	cfg := DefaultVariabilityConfig()
+	cfg.Seed = seed
+	return Fig12With(cfg, []Scheme{SchemeLATE(), SchemeDolly(2), SchemePerfCloud()})
+}
+
+// Fig12With runs a custom size and scheme list.
+func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
+	var res Fig12Result
+	for _, workload := range []string{"terasort", "spark-logreg"} {
+		base := fig12Run(cfg, cfg.Seed, workload, SchemeDefault(), false)
+		for _, sch := range schemes {
+			var norm []float64
+			for run := 0; run < cfg.Runs; run++ {
+				jct := fig12Run(cfg, cfg.Seed+int64(run)*997, workload, sch, true)
+				norm = append(norm, jct/base)
+			}
+			res.Rows = append(res.Rows, Fig12Row{
+				Workload: workload,
+				Scheme:   sch.Name,
+				Summary:  stats.Summarize(norm),
+			})
+		}
+	}
+	return res
+}
+
+// fig12Run executes one repetition and returns the logical JCT.
+func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool) float64 {
+	var pc *core.Config
+	if sch.PerfCloud {
+		pc = ControllerConfig()
+	}
+	tb := NewTestbed(TestbedConfig{
+		Seed:             seed,
+		Servers:          cfg.Servers,
+		WorkersPerServer: cfg.WorkersPerServer,
+		Speculator:       sch.Speculator,
+		PerfCloud:        pc,
+		BlockBytes:       mixBlockBytes,
+	})
+	inputBytes := float64(cfg.Tasks) * mixBlockBytes
+	tb.MustInput("input", inputBytes)
+	if antagonists {
+		placeAntagonists(tb, LargeScaleConfig{
+			Seed: seed, Servers: cfg.Servers, Fio: cfg.Fio, Streams: cfg.Streams,
+		})
+	}
+
+	submit := func() straggler.Clone {
+		now := tb.Eng.Clock().Seconds()
+		if workload == "terasort" {
+			j, err := tb.JT.Submit(mapreduce.Terasort("input", cfg.Tasks/5), now)
+			if err != nil {
+				panic(err)
+			}
+			return j
+		}
+		a, err := tb.Driver.Submit(spark.LogisticRegression(cfg.Tasks, 3, inputBytes), now)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	if sch.Clones <= 1 {
+		c := submit()
+		if !tb.Eng.RunUntil(c.Done, cfg.Limit) {
+			panic(fmt.Sprintf("experiments: fig12 %s/%s stuck", workload, sch.Name))
+		}
+		return c.JCT()
+	}
+	clones := make([]straggler.Clone, 0, sch.Clones)
+	for i := 0; i < sch.Clones; i++ {
+		clones = append(clones, submit())
+	}
+	g := tb.Dolly.Watch(workload, clones...)
+	if !tb.Eng.RunUntil(g.Done, cfg.Limit) {
+		panic(fmt.Sprintf("experiments: fig12 %s/%s clone race stuck", workload, sch.Name))
+	}
+	return g.JCT()
+}
+
+// Table renders the Figure 12 box-plot statistics.
+func (r Fig12Result) Table() *trace.Table {
+	t := trace.New("Fig 12: normalized JCT variability over repeated runs with random antagonist placement",
+		"workload", "scheme", "median", "Q1", "Q3", "IQR", "min", "max")
+	for _, row := range r.Rows {
+		s := row.Summary
+		t.Addf(row.Workload, row.Scheme, s.Median, s.Q1, s.Q3, s.IQR(), s.Min, s.Max)
+	}
+	return t
+}
+
+// Row returns the named (workload, scheme) row.
+func (r Fig12Result) Row(workload, scheme string) Fig12Row {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Scheme == scheme {
+			return row
+		}
+	}
+	return Fig12Row{}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"perfcloud/internal/core"
+	"perfcloud/internal/stats"
+	"perfcloud/internal/trace"
+)
+
+// Fig7Result reproduces Figure 7: the CUBIC cap-growth trajectory after
+// a single decrease, annotated with its three regions.
+type Fig7Result struct {
+	Caps    *stats.TimeSeries // cap (fraction of Cmax) per interval
+	Regions []string
+	K       float64
+}
+
+// Fig7 evaluates Equation 1's growth curve with the paper's constants
+// (beta = 0.8, gamma = 0.005) from Cmax = 1 over 60 intervals.
+func Fig7() Fig7Result {
+	c := core.NewCubic(core.DefaultCubicConfig(), 1)
+	c.Update(0, true) // the decrease that anchors the curve
+	res := Fig7Result{Caps: stats.NewTimeSeries(), K: c.K()}
+	for i := int64(1); i <= 60; i++ {
+		cap := c.Update(i, false)
+		res.Caps.Append(float64(i), cap)
+		res.Regions = append(res.Regions, c.Region(i))
+	}
+	return res
+}
+
+// Table renders a compact view of the curve.
+func (r Fig7Result) Table() *trace.Table {
+	t := trace.New("Fig 7: CUBIC cap growth after a decrease (Cmax=1, beta=0.8, gamma=0.005)",
+		"interval", "cap", "region")
+	vals := r.Caps.Values()
+	for i := 0; i < len(vals); i += 5 {
+		t.Addf(i+1, vals[i], r.Regions[i])
+	}
+	t.Addf("K", r.K, "")
+	return t
+}

@@ -1,0 +1,108 @@
+package hypervisor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *cluster.Cluster, *Hypervisor) {
+	t.Helper()
+	eng := sim.NewEngine(100*time.Millisecond, 1)
+	c := cluster.New()
+	srv := c.AddServer("s0", cluster.DefaultServerConfig(), eng.RNG())
+	c.AddVM(srv, "vm-a", 2, 8<<30, cluster.HighPriority, "app")
+	c.AddVM(srv, "vm-b", 2, 8<<30, cluster.LowPriority, "")
+	eng.Register(c)
+	return eng, c, New(srv)
+}
+
+func TestListDomains(t *testing.T) {
+	_, _, h := setup(t)
+	doms := h.ListDomains()
+	if len(doms) != 2 || doms[0] != "vm-a" || doms[1] != "vm-b" {
+		t.Errorf("domains = %v", doms)
+	}
+	if h.ServerID() != "s0" {
+		t.Errorf("server id = %q", h.ServerID())
+	}
+}
+
+func TestDomainStats(t *testing.T) {
+	_, c, h := setup(t)
+	c.FindVM("vm-a").Cgroup().AddBlkio(10, 4096, 5)
+	s, err := h.DomainStats("vm-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blkio.IoServiced != 10 {
+		t.Errorf("stats = %+v", s.Blkio)
+	}
+	_, err = h.DomainStats("nope")
+	var nd ErrNoDomain
+	if !errors.As(err, &nd) || nd.ID != "nope" {
+		t.Errorf("err = %v, want ErrNoDomain{nope}", err)
+	}
+}
+
+func TestApplyAndClearCaps(t *testing.T) {
+	_, c, h := setup(t)
+	if err := h.SetVCPUQuota("vm-b", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetBlkioThrottleIOPS("vm-b", 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetBlkioThrottleBPS("vm-b", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	th := c.FindVM("vm-b").Cgroup().Throttle()
+	if th.CPUCores != 0.5 || th.ReadIOPS != 2000 || th.ReadBPS != 1<<20 {
+		t.Errorf("throttle = %+v", th)
+	}
+	got, err := h.Throttle("vm-b")
+	if err != nil || got != th {
+		t.Errorf("Throttle() = %+v, %v", got, err)
+	}
+	if err := h.ClearThrottle("vm-b"); err != nil {
+		t.Fatal(err)
+	}
+	if th := c.FindVM("vm-b").Cgroup().Throttle(); th.CPUCores != 0 || th.ReadIOPS != 0 {
+		t.Errorf("after clear: %+v", th)
+	}
+}
+
+func TestUnknownDomainErrors(t *testing.T) {
+	_, _, h := setup(t)
+	if err := h.SetVCPUQuota("nope", 1); err == nil {
+		t.Error("SetVCPUQuota: want error")
+	}
+	if err := h.SetBlkioThrottleIOPS("nope", 1); err == nil {
+		t.Error("SetBlkioThrottleIOPS: want error")
+	}
+	if err := h.SetBlkioThrottleBPS("nope", 1); err == nil {
+		t.Error("SetBlkioThrottleBPS: want error")
+	}
+	if err := h.ClearThrottle("nope"); err == nil {
+		t.Error("ClearThrottle: want error")
+	}
+	if _, err := h.Throttle("nope"); err == nil {
+		t.Error("Throttle: want error")
+	}
+}
+
+func TestNegativeCapsRejected(t *testing.T) {
+	_, _, h := setup(t)
+	if err := h.SetVCPUQuota("vm-b", -1); err == nil {
+		t.Error("negative quota: want error")
+	}
+	if err := h.SetBlkioThrottleIOPS("vm-b", -1); err == nil {
+		t.Error("negative iops: want error")
+	}
+	if err := h.SetBlkioThrottleBPS("vm-b", -1); err == nil {
+		t.Error("negative bps: want error")
+	}
+}

@@ -1,0 +1,273 @@
+// Package memsys models the shared processor resources of a physical
+// server that the paper's second detection channel targets: the last
+// level cache (LLC) and memory bandwidth (§II-C, §III-A2).
+//
+// Each tick, every VM's memory behaviour is summarised by its granted CPU
+// time, its core CPI (cycles per instruction absent memory stalls), its
+// LLC access intensity, and its working-set size. The model then:
+//
+//   - partitions LLC capacity between VMs in proportion to their access
+//     rates (an occupancy model of a shared, non-partitioned cache), which
+//     yields each VM's LLC miss *rate*;
+//   - compares aggregate memory-bandwidth demand against the machine's
+//     capacity; oversubscription inflates the per-miss stall penalty, with
+//     a slowly varying per-VM luck factor (AR(1)) so that contention also
+//     raises the *spread* of CPI across the VMs of a scale-out application
+//     — the signal behind the paper's CPI-deviation detector (Fig. 4);
+//   - reports effective CPI, instructions retired, cycles, LLC references
+//     and misses — the quantities perf_event exposes per cgroup.
+//
+// A VM like STREAM (huge working set, high access intensity) both suffers
+// a high miss rate and, more importantly, saturates bandwidth, degrading
+// colocated VMs. Hard-capping its CPU quota reduces its granted CPU time
+// and hence its bandwidth demand — the mechanism PerfCloud exploits.
+package memsys
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"perfcloud/internal/sim"
+)
+
+// Config describes the shared memory system.
+type Config struct {
+	LLCBytes          float64 // shared last-level cache capacity
+	BandwidthCapacity float64 // memory bandwidth, bytes/second
+	FreqHz            float64 // core frequency, cycles/second
+
+	// MissPenaltyCPI is the CPI added per (LLC miss per instruction) on an
+	// uncontended machine — i.e. effective stall cycles per miss.
+	MissPenaltyCPI float64
+	// CongestionScale controls how much bandwidth oversubscription
+	// (demand/capacity - 1) inflates the miss penalty.
+	CongestionScale float64
+	// JitterStdDev / JitterCorr parameterise the per-VM AR(1) luck factor
+	// applied to the congestion part of the penalty.
+	JitterStdDev float64
+	JitterCorr   float64
+}
+
+// DefaultConfig mirrors a two-socket Xeon host: 30 MiB LLC, ~60 GB/s of
+// memory bandwidth, 2.3 GHz cores, and a 40-cycle effective miss penalty.
+func DefaultConfig() Config {
+	return Config{
+		LLCBytes:          30 << 20,
+		BandwidthCapacity: 60e9,
+		FreqHz:            2.3e9,
+		MissPenaltyCPI:    40,
+		CongestionScale:   3.0,
+		JitterStdDev:      0.7,
+		// A ~40 s correlation time: which VM wins the memory-controller
+		// arbitration is sticky, so the cross-VM CPI spread the detector
+		// needs persists through 5 s sampling windows while each VM's own
+		// time series stays stable within an identification window.
+		JitterCorr: 0.9975,
+	}
+}
+
+// Request is one VM's memory behaviour for a tick.
+type Request struct {
+	ClientID string
+	// CPUSeconds is the CPU time granted to the VM this tick.
+	CPUSeconds float64
+	// CoreCPI is the VM's CPI with an infinite cache (no memory stalls).
+	CoreCPI float64
+	// LLCRefsPerInstr is the fraction of instructions referencing the LLC.
+	LLCRefsPerInstr float64
+	// BytesPerInstr is memory traffic intensity (bytes moved per instr).
+	BytesPerInstr float64
+	// WorkingSetBytes is the VM's active working set.
+	WorkingSetBytes float64
+}
+
+// Result is the memory system's answer for one VM for one tick.
+type Result struct {
+	ClientID     string
+	CPI          float64 // effective cycles per instruction
+	Instructions float64 // instructions retired this tick
+	Cycles       float64 // cycles consumed this tick
+	LLCRefs      float64
+	LLCMisses    float64
+	MissRate     float64 // misses / references
+	MemBytes     float64 // memory traffic generated this tick
+}
+
+// System is the shared LLC + bandwidth model. Not safe for concurrent
+// use; the cluster steps it once per tick.
+type System struct {
+	cfg    Config
+	jitter *sim.AR1
+
+	lastPressure float64
+}
+
+// New creates a memory system with the given config and random stream.
+func New(cfg Config, rng *rand.Rand) *System {
+	if cfg.LLCBytes <= 0 || cfg.BandwidthCapacity <= 0 || cfg.FreqHz <= 0 {
+		panic(fmt.Sprintf("memsys: nonpositive config %+v", cfg))
+	}
+	return &System{cfg: cfg, jitter: sim.NewAR1(cfg.JitterCorr, cfg.JitterStdDev, rng)}
+}
+
+// Config returns the memory system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Pressure returns the bandwidth demand-to-capacity ratio observed on the
+// most recent Compute call (may exceed 1 under oversubscription).
+func (s *System) Pressure() float64 { return s.lastPressure }
+
+// Compute resolves one tick of shared-cache and bandwidth behaviour.
+// Results are returned in request order.
+func (s *System) Compute(tickSec float64, reqs []Request) []Result {
+	if tickSec <= 0 {
+		panic("memsys: nonpositive tick")
+	}
+	out := make([]Result, len(reqs))
+
+	// Nominal instruction rate (at core CPI) determines both LLC occupancy
+	// weight and bandwidth demand. Using the stall-free rate here keeps the
+	// computation a single pass; the resulting demand overestimate under
+	// heavy contention is absorbed by the clip in the congestion term.
+	nominalInstr := make([]float64, len(reqs))
+	var totalRefRate, totalDemand float64
+	for i, r := range reqs {
+		if r.CPUSeconds < 0 || r.CoreCPI <= 0 && r.CPUSeconds > 0 {
+			panic(fmt.Sprintf("memsys: bad request %+v", r))
+		}
+		if r.CPUSeconds == 0 {
+			continue
+		}
+		nominalInstr[i] = r.CPUSeconds * s.cfg.FreqHz / r.CoreCPI
+		totalRefRate += nominalInstr[i] * r.LLCRefsPerInstr
+		totalDemand += nominalInstr[i] * r.BytesPerInstr
+	}
+
+	// Bandwidth pressure and congestion-driven penalty inflation.
+	pressure := totalDemand / (s.cfg.BandwidthCapacity * tickSec)
+	s.lastPressure = pressure
+	over := math.Max(0, pressure-1)
+	if over > 3 {
+		over = 3 // saturate: queues cannot grow without bound in a tick
+	}
+
+	shares := llcShares(s.cfg.LLCBytes, reqs, nominalInstr)
+
+	keep := make(map[string]bool, len(reqs))
+	for i, r := range reqs {
+		keep[r.ClientID] = true
+		res := Result{ClientID: r.ClientID}
+		if r.CPUSeconds == 0 || nominalInstr[i] == 0 {
+			out[i] = res
+			continue
+		}
+		res.MissRate = missRate(r.WorkingSetBytes, shares[i])
+
+		j := s.jitter.Step(r.ClientID)
+		luck := 1 + j
+		if luck < 0 {
+			luck = 0
+		}
+		penalty := s.cfg.MissPenaltyCPI * (1 + s.cfg.CongestionScale*over*luck)
+		res.CPI = r.CoreCPI + r.LLCRefsPerInstr*res.MissRate*penalty
+
+		res.Cycles = r.CPUSeconds * s.cfg.FreqHz
+		res.Instructions = res.Cycles / res.CPI
+		res.LLCRefs = res.Instructions * r.LLCRefsPerInstr
+		res.LLCMisses = res.LLCRefs * res.MissRate
+		res.MemBytes = res.Instructions * r.BytesPerInstr
+		out[i] = res
+	}
+	s.jitter.GC(keep)
+	return out
+}
+
+// llcShares partitions the cache between clients by water-filling on
+// occupancy weight (reference rate): a client whose entire working set
+// fits within its proportional share occupies only the working set, and
+// the freed capacity is redistributed among the cache-hungry clients.
+// This keeps a small-footprint VM (e.g. sysbench cpu) effectively fully
+// cached even next to a streaming antagonist, as real LRU-like shared
+// caches do for hot small sets.
+func llcShares(llc float64, reqs []Request, nominalInstr []float64) []float64 {
+	n := len(reqs)
+	shares := make([]float64, n)
+	weights := make([]float64, n)
+	// wants[i] tracks how much more cache the client could still use.
+	wants := make([]float64, n)
+	nActive := 0
+	for i, r := range reqs {
+		weights[i] = nominalInstr[i] * r.LLCRefsPerInstr
+		if weights[i] > 0 {
+			nActive++
+			wants[i] = r.WorkingSetBytes
+		}
+	}
+	if nActive == 0 {
+		return shares
+	}
+	// Protected floor: a re-referenced hot set survives streaming pressure
+	// (real replacement policies approximate this), so every active client
+	// keeps up to half an equal split, capped at its working set.
+	remaining := llc
+	floor := 0.5 * llc / float64(nActive)
+	for i := range reqs {
+		if weights[i] == 0 {
+			continue
+		}
+		shares[i] = math.Min(wants[i], floor)
+		wants[i] -= shares[i]
+		remaining -= shares[i]
+	}
+	// Water-fill the rest by occupancy weight, capping at the working set.
+	for iter := 0; iter <= n && remaining > 1e-9; iter++ {
+		var wsum float64
+		for i := range reqs {
+			if wants[i] > 0 {
+				wsum += weights[i]
+			}
+		}
+		if wsum == 0 {
+			break
+		}
+		settled := false
+		for i := range reqs {
+			if wants[i] <= 0 || weights[i] == 0 {
+				continue
+			}
+			prop := remaining * weights[i] / wsum
+			if wants[i] <= prop {
+				shares[i] += wants[i]
+				remaining -= wants[i]
+				wants[i] = 0
+				settled = true
+			}
+		}
+		if !settled {
+			for i := range reqs {
+				if wants[i] > 0 {
+					grant := remaining * weights[i] / wsum
+					shares[i] += grant
+					wants[i] -= grant
+				}
+			}
+			break
+		}
+	}
+	return shares
+}
+
+// missRate maps a working set against a cache share: a working set that
+// fits in its share barely misses; beyond that, misses approach the
+// streaming limit as share/ws shrinks.
+func missRate(workingSet, share float64) float64 {
+	const coldMiss = 0.02
+	if workingSet <= 0 {
+		return coldMiss
+	}
+	if share >= workingSet {
+		return coldMiss
+	}
+	return coldMiss + (1-coldMiss)*(1-share/workingSet)
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AR1 is a first-order autoregressive (Ornstein-Uhlenbeck-like) noise
+// process with zero mean: x' = corr*x + sqrt(1-corr^2)*stddev*N(0,1).
+// The resource models use one AR1 per client as a slowly varying "luck"
+// factor: a VM that lands behind an antagonist's bursts stays unlucky for
+// a correlation time of roughly tick/(1-corr), so per-VM unevenness
+// survives the monitor's 5-second averaging window instead of washing out.
+type AR1 struct {
+	Corr   float64 // per-step correlation in [0, 1)
+	StdDev float64 // stationary standard deviation
+
+	state map[string]float64
+	rng   *rand.Rand
+}
+
+// NewAR1 creates a per-client AR(1) noise source.
+func NewAR1(corr, stddev float64, rng *rand.Rand) *AR1 {
+	if corr < 0 || corr >= 1 {
+		panic("sim: AR1 corr must be in [0, 1)")
+	}
+	if stddev < 0 {
+		panic("sim: AR1 stddev must be nonnegative")
+	}
+	return &AR1{Corr: corr, StdDev: stddev, state: make(map[string]float64), rng: rng}
+}
+
+// Step advances the named client's process one step and returns its value.
+func (a *AR1) Step(id string) float64 {
+	next := a.Corr*a.state[id] + math.Sqrt(1-a.Corr*a.Corr)*a.StdDev*a.rng.NormFloat64()
+	a.state[id] = next
+	return next
+}
+
+// GC drops state for clients not in keep, bounding memory across VM churn.
+// It is a no-op while the state map is still small relative to keep.
+func (a *AR1) GC(keep map[string]bool) {
+	if len(a.state) <= 4*len(keep)+16 {
+		return
+	}
+	for id := range a.state {
+		if !keep[id] {
+			delete(a.state, id)
+		}
+	}
+}
+
+// Len reports the number of tracked clients (for tests).
+func (a *AR1) Len() int { return len(a.state) }

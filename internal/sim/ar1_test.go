@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAR1StationaryMoments(t *testing.T) {
+	a := NewAR1(0.9, 2.0, rand.New(rand.NewSource(1)))
+	var sum, sumsq float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := a.Step("x")
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(sd-2.0) > 0.2 {
+		t.Errorf("stddev = %v, want ~2", sd)
+	}
+}
+
+func TestAR1Autocorrelation(t *testing.T) {
+	a := NewAR1(0.95, 1.0, rand.New(rand.NewSource(2)))
+	var prev float64
+	var num, den float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := a.Step("x")
+		if i > 0 {
+			num += prev * v
+			den += prev * prev
+		}
+		prev = v
+	}
+	rho := num / den
+	if math.Abs(rho-0.95) > 0.05 {
+		t.Errorf("autocorrelation = %v, want ~0.95", rho)
+	}
+}
+
+func TestAR1IndependentClients(t *testing.T) {
+	a := NewAR1(0.9, 1.0, rand.New(rand.NewSource(3)))
+	var cov, va, vb float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := a.Step("a")
+		y := a.Step("b")
+		cov += x * y
+		va += x * x
+		vb += y * y
+	}
+	r := cov / math.Sqrt(va*vb)
+	if math.Abs(r) > 0.1 {
+		t.Errorf("cross-client correlation = %v, want ~0", r)
+	}
+}
+
+func TestAR1ZeroStdDevIsConstantZero(t *testing.T) {
+	a := NewAR1(0.5, 0, rand.New(rand.NewSource(4)))
+	for i := 0; i < 10; i++ {
+		if v := a.Step("x"); v != 0 {
+			t.Fatalf("step = %v, want 0", v)
+		}
+	}
+}
+
+func TestAR1GC(t *testing.T) {
+	a := NewAR1(0.9, 1.0, rand.New(rand.NewSource(5)))
+	for i := 0; i < 300; i++ {
+		a.Step(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	a.GC(map[string]bool{"a0": true})
+	if a.Len() != 1 {
+		t.Errorf("after GC len = %d, want 1", a.Len())
+	}
+	// GC is a no-op while small.
+	b := NewAR1(0.9, 1.0, rand.New(rand.NewSource(6)))
+	b.Step("x")
+	b.GC(map[string]bool{})
+	if b.Len() != 1 {
+		t.Errorf("small-map GC should be no-op, len = %d", b.Len())
+	}
+}
+
+func TestAR1Panics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewAR1(1, 1, rand.New(rand.NewSource(1))) },
+		func() { NewAR1(-0.1, 1, rand.New(rand.NewSource(1))) },
+		func() { NewAR1(0.5, -1, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

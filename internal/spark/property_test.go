@@ -1,0 +1,49 @@
+package spark
+
+import (
+	"testing"
+	"time"
+)
+
+// Property-style invariants over the Spark framework simulator.
+
+func TestPropertyJCTMonotoneInIterations(t *testing.T) {
+	jct := func(iters int) float64 {
+		h := newHarness(t, 6)
+		a := h.runApp(t, LogisticRegression(10, iters, 320<<20), time.Hour)
+		return a.JCT()
+	}
+	prev := 0.0
+	for _, iters := range []int{1, 3, 6, 10} {
+		got := jct(iters)
+		if got < prev {
+			t.Errorf("JCT(%d iters) = %v < JCT of fewer iterations %v", iters, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPropertyStageCountMatchesConfig(t *testing.T) {
+	for _, iters := range []int{1, 4, 7} {
+		h := newHarness(t, 4)
+		a := h.runApp(t, SVM(6, iters, 128<<20), time.Hour)
+		if got := len(a.TaskSets()); got != iters+1 {
+			t.Errorf("iters=%d: stages run = %d, want %d", iters, got, iters+1)
+		}
+	}
+}
+
+func TestPropertyEveryStageTaskCompletes(t *testing.T) {
+	h := newHarness(t, 6)
+	a := h.runApp(t, PageRank(9, 3, 256<<20), time.Hour)
+	for si, ts := range a.TaskSets() {
+		if len(ts.Tasks()) != 9 {
+			t.Errorf("stage %d tasks = %d, want 9", si, len(ts.Tasks()))
+		}
+		for _, task := range ts.Tasks() {
+			if !task.Done() {
+				t.Errorf("stage %d task %s not done", si, task.Spec().ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeSeriesAppendAndAccessors(t *testing.T) {
+	ts := NewTimeSeries()
+	if ts.Len() != 0 {
+		t.Fatal("new series should be empty")
+	}
+	ts.Append(0, 1)
+	ts.Append(5, 2)
+	ts.Append(10, 4)
+	if ts.Len() != 3 {
+		t.Fatalf("len = %d, want 3", ts.Len())
+	}
+	if last := ts.Last(); last.Time != 10 || last.Value != 4 {
+		t.Errorf("Last = %+v", last)
+	}
+	wantV := []float64{1, 2, 4}
+	for i, v := range ts.Values() {
+		if v != wantV[i] {
+			t.Errorf("Values[%d] = %v, want %v", i, v, wantV[i])
+		}
+	}
+	wantT := []float64{0, 5, 10}
+	for i, v := range ts.Times() {
+		if v != wantT[i] {
+			t.Errorf("Times[%d] = %v, want %v", i, v, wantT[i])
+		}
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Append(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on out-of-order append")
+		}
+	}()
+	ts.Append(4, 1)
+}
+
+func TestTimeSeriesEqualTimestampsAllowed(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Append(5, 1)
+	ts.Append(5, 2) // same instant: allowed (nondecreasing)
+	if ts.Len() != 2 {
+		t.Fatal("equal timestamps should be accepted")
+	}
+}
+
+func TestTimeSeriesWindow(t *testing.T) {
+	ts := NewTimeSeries()
+	for i := 0; i < 5; i++ {
+		ts.Append(float64(i), float64(i*i))
+	}
+	w := ts.Window(3)
+	want := []float64{4, 9, 16}
+	if len(w) != 3 {
+		t.Fatalf("window len = %d", len(w))
+	}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Errorf("window[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	if got := ts.Window(99); len(got) != 5 {
+		t.Errorf("oversized window len = %d, want 5", len(got))
+	}
+}
+
+func TestTimeSeriesMissingAndMax(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Append(0, 3)
+	ts.AppendMissing(5)
+	ts.Append(10, 7)
+	if got := ts.Max(); got != 7 {
+		t.Errorf("Max = %v, want 7 (NaN skipped)", got)
+	}
+	vals := ts.Values()
+	if !math.IsNaN(vals[1]) {
+		t.Error("missing sample should be NaN")
+	}
+	empty := NewTimeSeries()
+	if empty.Max() != 0 {
+		t.Error("empty Max should be 0")
+	}
+	allMissing := NewTimeSeries()
+	allMissing.AppendMissing(0)
+	if allMissing.Max() != 0 {
+		t.Error("all-missing Max should be 0")
+	}
+}
+
+func TestNormalizeByMax(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Append(0, 2)
+	ts.Append(1, 4)
+	ts.AppendMissing(2)
+	n := ts.NormalizeByMax()
+	v := n.Values()
+	if v[0] != 0.5 || v[1] != 1 {
+		t.Errorf("normalized = %v", v[:2])
+	}
+	if !math.IsNaN(v[2]) {
+		t.Error("missing should survive normalization")
+	}
+	// Zero-peak series is left unchanged.
+	z := NewTimeSeries()
+	z.Append(0, 0)
+	if got := z.NormalizeByMax().Values()[0]; got != 0 {
+		t.Errorf("zero-peak normalize = %v", got)
+	}
+}
+
+func TestAlignedWindows(t *testing.T) {
+	a, b := NewTimeSeries(), NewTimeSeries()
+	for i := 0; i < 4; i++ {
+		a.Append(float64(i), float64(i))
+		if i < 3 {
+			b.Append(float64(i), float64(10*i))
+		}
+	}
+	if _, ok := AlignedWindows(4, a, b); ok {
+		t.Error("want ok=false when a series is short")
+	}
+	w, ok := AlignedWindows(3, a, b)
+	if !ok {
+		t.Fatal("want ok")
+	}
+	if len(w) != 2 || len(w[0]) != 3 || w[0][2] != 3 || w[1][2] != 20 {
+		t.Errorf("windows = %v", w)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ts := NewTimeSeries()
+	for i := 0; i < 8; i++ {
+		ts.Append(float64(i), float64(i))
+	}
+	s := ts.Sparkline(8)
+	if len(s) != 8 {
+		t.Fatalf("sparkline width = %d, want 8", len(s))
+	}
+	if s[0] == s[7] {
+		t.Errorf("ramp sparkline should vary: %q", s)
+	}
+	if NewTimeSeries().Sparkline(10) != "" {
+		t.Error("empty series should render empty sparkline")
+	}
+	short := NewTimeSeries()
+	short.Append(0, 1)
+	if got := short.Sparkline(10); len(got) != 1 {
+		t.Errorf("series shorter than width should shrink: %q", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package straggler implements the application-level straggler-mitigation
+// baselines the paper compares PerfCloud against (§IV-C):
+//
+//   - LATE [Zaharia et al., OSDI'08]: speculative execution that ranks
+//     running tasks by estimated time to end and backs up the slowest
+//     ones, capped at a fraction of slots;
+//   - a naive progress-gap speculator (Hadoop's default heuristic),
+//     kept as an ablation point;
+//   - Dolly [Ananthanarayanan et al., NSDI'13]: proactive job-level
+//     cloning — launch n identical clones, take the first finisher, kill
+//     the rest. The paper uses job-level cloning (not task-level) since
+//     the latter would require framework modification.
+//
+// LATE and the naive speculator plug into exec.TaskSet as Speculators;
+// Dolly watches clone groups from outside the frameworks, exactly as a
+// user-level tool would.
+package straggler
+
+import (
+	"sort"
+
+	"perfcloud/internal/exec"
+	"perfcloud/internal/sim"
+	"perfcloud/internal/stats"
+)
+
+// LATE is the Longest-Approximate-Time-to-End speculator.
+type LATE struct {
+	// SpeculativeCap bounds concurrently running speculative attempts to
+	// this fraction of the set's tasks (LATE's 10% of slots).
+	SpeculativeCap float64
+	// SlowTaskPercentile: only tasks with a progress rate below this
+	// percentile of all running tasks' rates are considered (LATE's 25th).
+	SlowTaskPercentile float64
+	// MinRuntimeSec avoids speculating tasks that just launched — the
+	// "wait" part of wait-and-speculate the paper criticises.
+	MinRuntimeSec float64
+}
+
+// NewLATE returns a LATE speculator with the paper's defaults.
+func NewLATE() *LATE {
+	return &LATE{SpeculativeCap: 0.1, SlowTaskPercentile: 25, MinRuntimeSec: 3}
+}
+
+var _ exec.Speculator = (*LATE)(nil)
+
+// Candidates implements exec.Speculator.
+func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
+	type cand struct {
+		task *exec.Task
+		ete  float64 // estimated time to end
+	}
+	var rates []float64
+	var running []*exec.Attempt
+	speculating := 0
+	for _, a := range ts.RunningAttempts() {
+		if a.Speculative() {
+			speculating++
+			continue
+		}
+		running = append(running, a)
+		rates = append(rates, a.ProgressRate(nowSec))
+	}
+	if len(running) == 0 {
+		return nil
+	}
+	allowed := int(l.SpeculativeCap*float64(len(ts.Tasks())) + 0.5)
+	if allowed < 1 {
+		allowed = 1
+	}
+	budget := allowed - speculating
+	if budget <= 0 {
+		return nil
+	}
+	threshold := stats.Percentile(rates, l.SlowTaskPercentile)
+	var cands []cand
+	for _, a := range running {
+		if a.Runtime(nowSec) < l.MinRuntimeSec {
+			continue
+		}
+		if len(a.Task().Running()) > 1 {
+			continue // already has a backup
+		}
+		rate := a.ProgressRate(nowSec)
+		if rate > threshold || rate <= 0 {
+			continue
+		}
+		cands = append(cands, cand{task: a.Task(), ete: (1 - a.Progress()) / rate})
+	}
+	// Longest estimated time to end first.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ete > cands[j].ete })
+	if len(cands) > budget {
+		cands = cands[:budget]
+	}
+	out := make([]*exec.Task, len(cands))
+	for i, c := range cands {
+		out[i] = c.task
+	}
+	return out
+}
+
+// Naive is Hadoop's default progress-gap speculator: back up any task
+// whose progress trails the running average by Gap after MinRuntimeSec.
+type Naive struct {
+	Gap           float64
+	MinRuntimeSec float64
+}
+
+// NewNaive returns the classical 0.2-progress-gap speculator.
+func NewNaive() *Naive { return &Naive{Gap: 0.2, MinRuntimeSec: 3} }
+
+var _ exec.Speculator = (*Naive)(nil)
+
+// Candidates implements exec.Speculator.
+func (n *Naive) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
+	var progress []float64
+	var running []*exec.Attempt
+	for _, a := range ts.RunningAttempts() {
+		if a.Speculative() {
+			continue
+		}
+		running = append(running, a)
+		progress = append(progress, a.Progress())
+	}
+	if len(running) == 0 {
+		return nil
+	}
+	avg := stats.Mean(progress)
+	var out []*exec.Task
+	for _, a := range running {
+		if a.Runtime(nowSec) < n.MinRuntimeSec {
+			continue
+		}
+		if len(a.Task().Running()) > 1 {
+			continue
+		}
+		if a.Progress() < avg-n.Gap {
+			out = append(out, a.Task())
+		}
+	}
+	return out
+}
+
+// Clone is the framework-job surface Dolly needs: both mapreduce.Job and
+// spark.App satisfy it.
+type Clone interface {
+	// Done reports whether the clone finished or was killed.
+	Done() bool
+	// Completed reports whether the clone finished successfully.
+	Completed() bool
+	// Kill terminates the clone at nowSec.
+	Kill(nowSec float64)
+	// JCT returns the clone's completion time (0 until done).
+	JCT() float64
+	// SubmitSec returns the clone's submission time.
+	SubmitSec() float64
+	// Account returns the clone's attempt-time accounting as of nowSec.
+	Account(nowSec float64) exec.Accounting
+}
+
+// CloneGroup tracks the n clones of one logical job.
+type CloneGroup struct {
+	name   string
+	clones []Clone
+	winner Clone
+}
+
+// Name returns the group's logical-job name.
+func (g *CloneGroup) Name() string { return g.name }
+
+// Clones returns the clones being raced.
+func (g *CloneGroup) Clones() []Clone { return append([]Clone(nil), g.clones...) }
+
+// Winner returns the first clone to finish, or nil.
+func (g *CloneGroup) Winner() Clone { return g.winner }
+
+// Done reports whether the race has been decided.
+func (g *CloneGroup) Done() bool { return g.winner != nil }
+
+// Account returns the group's resource accounting: all clones' attempt
+// time counts toward the total, but only the winner's completed work is
+// useful — a losing clone's output is discarded even if it happened to
+// finish in the same instant as the winner (Fig. 11c's metric).
+func (g *CloneGroup) Account(nowSec float64) exec.Accounting {
+	var acc exec.Accounting
+	for _, cl := range g.clones {
+		acc.TotalSeconds += cl.Account(nowSec).TotalSeconds
+	}
+	if g.winner != nil {
+		acc.SuccessfulSeconds = g.winner.Account(nowSec).SuccessfulSeconds
+	}
+	return acc
+}
+
+// JCT returns the logical job's completion time: the winner's JCT.
+func (g *CloneGroup) JCT() float64 {
+	if g.winner == nil {
+		return 0
+	}
+	return g.winner.JCT()
+}
+
+// Dolly watches clone groups, settling each race as soon as one clone
+// completes by killing the losers. It implements sim.Tickable; register
+// it after the frameworks so completions are observed promptly.
+type Dolly struct {
+	groups []*CloneGroup
+}
+
+// NewDolly creates an empty watcher.
+func NewDolly() *Dolly { return &Dolly{} }
+
+// Watch registers a group of clones of one logical job. The clones must
+// already be submitted to their frameworks.
+func (d *Dolly) Watch(name string, clones ...Clone) *CloneGroup {
+	if len(clones) == 0 {
+		panic("straggler: clone group needs at least one clone")
+	}
+	g := &CloneGroup{name: name, clones: clones}
+	d.groups = append(d.groups, g)
+	return g
+}
+
+// Groups returns all watched groups.
+func (d *Dolly) Groups() []*CloneGroup { return append([]*CloneGroup(nil), d.groups...) }
+
+// Tick implements sim.Tickable.
+func (d *Dolly) Tick(c *sim.Clock) {
+	now := c.Seconds()
+	for _, g := range d.groups {
+		if g.winner != nil {
+			continue
+		}
+		for _, cl := range g.clones {
+			if cl.Completed() {
+				g.winner = cl
+				break
+			}
+		}
+		if g.winner == nil {
+			continue
+		}
+		for _, cl := range g.clones {
+			if cl != g.winner {
+				cl.Kill(now)
+			}
+		}
+	}
+}

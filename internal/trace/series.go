@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perfcloud/internal/stats"
+)
+
+// SeriesCSV renders one or more aligned time series as CSV with a time
+// column — the raw data behind the paper's time-series figures (Figs. 3,
+// 9, 10), suitable for any plotting tool. Series may have different
+// lengths; missing cells (beyond a series' end, or NaN samples) are
+// empty.
+func SeriesCSV(names []string, series []*stats.TimeSeries) string {
+	if len(names) != len(series) {
+		panic("trace: names/series length mismatch")
+	}
+	var b strings.Builder
+	b.WriteString("time")
+	for _, n := range names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+
+	// Index each series by timestamp (monitors share a clock, so rows
+	// align on equal timestamps).
+	rows := map[float64][]float64{}
+	var order []float64
+	for si, ts := range series {
+		times := ts.Times()
+		vals := ts.Values()
+		for i := range times {
+			row, ok := rows[times[i]]
+			if !ok {
+				row = make([]float64, len(series))
+				for k := range row {
+					row[k] = math.NaN()
+				}
+				rows[times[i]] = row
+				order = append(order, times[i])
+			}
+			row[si] = vals[i]
+		}
+	}
+	sortFloats(order)
+	for _, t := range order {
+		fmt.Fprintf(&b, "%g", t)
+		for _, v := range rows[t] {
+			b.WriteByte(',')
+			if !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sortFloats is an insertion sort: timestamp sets are near-sorted already
+// (series append in time order) and tiny.
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

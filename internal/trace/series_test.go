@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"perfcloud/internal/stats"
+)
+
+func TestSeriesCSV(t *testing.T) {
+	a := stats.NewTimeSeries()
+	a.Append(0, 1)
+	a.Append(5, 2)
+	a.Append(10, 3)
+	b := stats.NewTimeSeries()
+	b.Append(5, 20)
+	b.AppendMissing(10)
+	b.Append(15, 40)
+
+	csv := SeriesCSV([]string{"alone", "fio"}, []*stats.TimeSeries{a, b})
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	want := []string{
+		"time,alone,fio",
+		"0,1,",
+		"5,2,20",
+		"10,3,",
+		"15,,40",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestSeriesCSVPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	SeriesCSV([]string{"a"}, nil)
+}
+
+func TestSortFloats(t *testing.T) {
+	xs := []float64{3, 1, 2, 2, 0}
+	sortFloats(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace renders experiment results as aligned ASCII tables and
+// CSV, the output format of cmd/perfbench and the bench harness. It
+// deliberately has no knowledge of the experiments themselves.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with a title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row. Rows shorter than the header are padded; longer
+// rows panic, since that is always a harness bug.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("trace: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row formatting each value with F/S as appropriate.
+func (t *Table) Addf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = F(v)
+		case int:
+			out[i] = strconv.Itoa(v)
+		case bool:
+			out[i] = fmt.Sprintf("%v", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(out...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (RFC-4180-style quoting
+// for cells containing commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float compactly: up to three significant decimals, with
+// trailing zeros trimmed.
+func F(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(v float64) string {
+	return strconv.FormatFloat(100*v, 'f', 1, 64) + "%"
+}

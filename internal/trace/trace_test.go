@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Fig X", "name", "value")
+	tb.Add("terasort", "1.72")
+	tb.Add("logreg", "1.44")
+	s := tb.String()
+	if !strings.Contains(s, "Fig X") || !strings.Contains(s, "terasort") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns aligned: header and rows share the separator width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", s)
+	}
+}
+
+func TestAddPadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Add("x")
+	if got := tb.Rows[0]; len(got) != 3 || got[1] != "" {
+		t.Errorf("row = %v", got)
+	}
+}
+
+func TestAddPanicsOnTooManyCells(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	tb.Add("1", "2")
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("", "s", "f", "i", "b")
+	tb.Addf("x", 1.5, 3, true)
+	got := tb.Rows[0]
+	want := []string{"x", "1.5", "3", "true"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("csv = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header = %q", csv)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		1.72:    "1.72",
+		1.0:     "1",
+		0:       "0",
+		0.125:   "0.125",
+		0.1256:  "0.126",
+		-2.5:    "-2.5",
+		100.000: "100",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.345); got != "34.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
