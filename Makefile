@@ -1,0 +1,27 @@
+# Tier-1 verification (ROADMAP.md): build + full test suite.
+.PHONY: all build test check race bench
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# race runs the detector over the packages with concurrent code paths:
+# the parallel tick fan-out, the experiment run pool, and the primitive
+# they share.
+race:
+	go test -race ./internal/cluster/... ./internal/sim/... ./internal/experiments/...
+
+# check is the full local gate: vet, build, tests, and the race tier.
+check:
+	go vet ./...
+	go build ./...
+	go test ./...
+	$(MAKE) race
+
+# bench reproduces the paper figures and the parallel-core speedups.
+bench:
+	go test -bench=. -benchmem -benchtime=1x .

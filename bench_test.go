@@ -14,6 +14,7 @@
 package perfcloud_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -274,6 +275,88 @@ func benchTick(b *testing.B, perfcloud bool) {
 	for i := 0; i < b.N; i++ {
 		tb.Eng.Step()
 	}
+}
+
+// BenchmarkParallelTick measures the concurrent grant phase: the same
+// loaded 8-server testbed ticked sequentially (1 worker) and with a
+// bounded pool, reporting the wall-clock speedup. On a single-core host
+// the speedup hovers around 1x; on a multicore host it should approach
+// min(workers, servers)x for the grant-dominated part of the tick.
+func BenchmarkParallelTick(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	seqNs := benchTickParallel(b, 1)
+	parNs := benchTickParallel(b, workers)
+	if parNs > 0 {
+		b.ReportMetric(seqNs/parNs, "speedup")
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// benchTickParallel times b.N ticks of a busy 8-server cluster with the
+// given tick worker count, reporting ns/op for the last-run mode.
+func benchTickParallel(b *testing.B, workers int) float64 {
+	b.Helper()
+	tb := experiments.NewTestbed(experiments.TestbedConfig{
+		Seed: benchSeed, Servers: 8, WorkersPerServer: 10, BlockBytes: 64 << 20,
+	})
+	tb.MustInput("input", 4*640<<20)
+	for s := 0; s < 8; s++ {
+		tb.AddAntagonist(s, workloads.NewFioRandRead(workloads.AlwaysOn))
+		tb.AddAntagonist(s, workloads.NewStream(workloads.AlwaysOn))
+	}
+	if _, err := tb.Driver.Submit(spark.LogisticRegression(64, 1000, 4*640<<20), 0); err != nil {
+		b.Fatal(err)
+	}
+	tb.Clus.SetTickWorkers(workers)
+	tb.Eng.RunFor(10 * time.Second) // warm up counters, caches and scratch
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		tb.Eng.Step()
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	return float64(elapsed.Nanoseconds()) / float64(b.N)
+}
+
+// BenchmarkFig12Parallel measures the run-level fan-out: a small Fig 12
+// grid executed with sequential repetitions and with GOMAXPROCS-many
+// concurrent repetitions, reporting the speedup. The results themselves
+// are bit-for-bit identical (see TestParallelMatchesSequential).
+func BenchmarkFig12Parallel(b *testing.B) {
+	cfg := experiments.VariabilityConfig{
+		Seed:             benchSeed,
+		Servers:          3,
+		WorkersPerServer: 6,
+		Runs:             6,
+		Fio:              2,
+		Streams:          2,
+		Tasks:            18,
+		Limit:            time.Hour,
+	}
+	schemes := []experiments.Scheme{experiments.SchemeLATE(), experiments.SchemePerfCloud()}
+	run := func(parallel int) float64 {
+		prev := experiments.SetMaxParallelRuns(parallel)
+		defer experiments.SetMaxParallelRuns(prev)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			experiments.Fig12With(cfg, schemes)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	}
+	seqNs := run(1)
+	b.ResetTimer()
+	start := time.Now()
+	prev := experiments.SetMaxParallelRuns(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12With(cfg, schemes)
+	}
+	experiments.SetMaxParallelRuns(prev)
+	parNs := float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	if parNs > 0 {
+		b.ReportMetric(seqNs/parNs, "speedup")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 func BenchmarkAblationD3_ControlPolicy(b *testing.B) {

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv]
+//	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
+//
+// -parallel bounds both concurrency layers — per-server tick work inside a
+// cluster and independent experiment repetitions. 0 (the default) uses
+// GOMAXPROCS; 1 forces fully sequential execution. Either setting produces
+// bit-for-bit identical tables for the same seed.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"perfcloud/internal/cluster"
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/trace"
@@ -26,7 +32,10 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down large experiments")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	timelines := flag.String("timelines", "", "directory to write raw time-series CSVs (Figs 3, 9, 10)")
+	parallel := flag.Int("parallel", 0, "worker bound for tick and run concurrency (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	cluster.SetDefaultTickWorkers(*parallel)
+	experiments.SetMaxParallelRuns(*parallel)
 	if *timelines != "" {
 		if err := os.MkdirAll(*timelines, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)

@@ -6,6 +6,10 @@
 // server (the paper's §III-D2 complementary solution).
 //
 // Run with: go run ./examples/migration
+//
+// The migration-on and migration-off arms are independent engines and run
+// concurrently; results are identical to a sequential run for the same
+// seed (the simulation core's determinism contract, DESIGN.md §5.1).
 package main
 
 import (

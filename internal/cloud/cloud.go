@@ -112,15 +112,21 @@ func (m *Manager) leastLoaded() *cluster.Server {
 	var best *cluster.Server
 	bestLoad := -1.0
 	for _, s := range m.cluster.Servers() {
-		var load float64
-		for _, v := range s.VMs() {
-			load += v.VCPUs()
-		}
+		load := placedVCPUs(s)
 		if best == nil || load < bestLoad {
 			best, bestLoad = s, load
 		}
 	}
 	return best
+}
+
+// placedVCPUs sums the vcpus placed on a server without copying its VM list.
+func placedVCPUs(s *cluster.Server) float64 {
+	var load float64
+	s.EachVM(func(v *cluster.VM) {
+		load += v.VCPUs()
+	})
+	return load
 }
 
 // VMsOnServer answers the node manager's periodic query: every VM hosted
@@ -130,11 +136,10 @@ func (m *Manager) VMsOnServer(serverID string) ([]VMInfo, error) {
 	if srv == nil {
 		return nil, fmt.Errorf("cloud: no server %q", serverID)
 	}
-	vms := srv.VMs()
-	out := make([]VMInfo, len(vms))
-	for i, v := range vms {
-		out[i] = VMInfo{ID: v.ID(), Priority: v.Priority(), AppID: v.AppID(), ServerID: serverID}
-	}
+	out := make([]VMInfo, 0, srv.NumVMs())
+	srv.EachVM(func(v *cluster.VM) {
+		out = append(out, VMInfo{ID: v.ID(), Priority: v.Priority(), AppID: v.AppID(), ServerID: serverID})
+	})
 	return out, nil
 }
 
@@ -212,10 +217,7 @@ func (m *Manager) RebalanceHighPriority(serverID string) (string, error) {
 		if s == src {
 			continue
 		}
-		var load float64
-		for _, v := range s.VMs() {
-			load += v.VCPUs()
-		}
+		load := placedVCPUs(s)
 		if dst == nil || load < bestLoad {
 			dst, bestLoad = s, load
 		}

@@ -24,6 +24,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"perfcloud/internal/cgroup"
 	"perfcloud/internal/cpu"
@@ -169,6 +170,17 @@ type Server struct {
 	mem   *memsys.System
 	cache *ContentCache
 	vms   []*VM
+
+	// Per-tick scratch buffers, reused across ticks so the steady-state
+	// resource pipeline allocates nothing. They are owned exclusively by
+	// the goroutine ticking this server (servers never share scratch).
+	demands    []Demand
+	cpuReqs    []cpu.Request
+	cpuGrants  []cpu.Grant
+	memReqs    []memsys.Request
+	memResults []memsys.Result
+	diskReqs   []disk.Request
+	diskGrants []disk.Grant
 }
 
 // Cache returns the server's page-cache model.
@@ -179,6 +191,19 @@ func (s *Server) ID() string { return s.id }
 
 // VMs returns the VMs currently placed on the server (live slice copy).
 func (s *Server) VMs() []*VM { return append([]*VM(nil), s.vms...) }
+
+// EachVM calls fn for every VM on the server in placement order without
+// copying the VM slice — the hot-path alternative to VMs() for per-tick
+// and per-interval iteration (monitoring, placement queries). fn must not
+// add or remove VMs on this server.
+func (s *Server) EachVM(fn func(*VM)) {
+	for _, v := range s.vms {
+		fn(v)
+	}
+}
+
+// NumVMs returns the number of VMs placed on the server.
+func (s *Server) NumVMs() int { return len(s.vms) }
 
 // Disk returns the server's disk model (for tests and traces).
 func (s *Server) Disk() *disk.Disk { return s.disk }
@@ -199,76 +224,96 @@ func (s *Server) FindVM(id string) *VM {
 	return nil
 }
 
-// tick runs the resource pipeline for one tick.
-func (s *Server) tick(tickSec float64) {
+// grantPhase runs the server-local half of the resource pipeline for one
+// tick: collect demands, grant CPU/memory/disk, accumulate cgroup counters
+// and stamp each VM's lastGrant. It touches only state owned by this
+// server (its resource models, their per-server RNG streams, its VMs'
+// cgroups) plus each workload's Demand method, so the cluster may run the
+// grant phase of different servers concurrently. Workload.Advance — which
+// may mutate state shared across servers, such as a framework's task set —
+// is deferred to advancePhase.
+func (s *Server) grantPhase(tickSec float64) {
 	n := len(s.vms)
 	if n == 0 {
 		return
 	}
-	demands := make([]Demand, n)
-	for i, v := range s.vms {
+	s.demands = s.demands[:0]
+	for _, v := range s.vms {
+		var d Demand
 		if !v.Idle() {
-			demands[i] = v.workload.Demand(tickSec)
+			d = v.workload.Demand(tickSec)
 		}
+		s.demands = append(s.demands, d)
 	}
 
 	// CPU.
-	cpuReqs := make([]cpu.Request, n)
+	s.cpuReqs = s.cpuReqs[:0]
 	for i, v := range s.vms {
-		cpuReqs[i] = cpu.Request{
+		s.cpuReqs = append(s.cpuReqs, cpu.Request{
 			ClientID: v.id,
-			Seconds:  demands[i].CPUSeconds,
+			Seconds:  s.demands[i].CPUSeconds,
 			VCPUs:    v.vcpus,
 			CapCores: v.cg.Throttle().CPUCores,
-		}
+		})
 	}
-	cpuGrants := s.cpu.Allocate(tickSec, cpuReqs)
+	s.cpuGrants = s.cpu.AllocateInto(s.cpuGrants[:0], tickSec, s.cpuReqs)
 
 	// Memory system.
-	memReqs := make([]memsys.Request, n)
+	s.memReqs = s.memReqs[:0]
 	for i, v := range s.vms {
-		memReqs[i] = memsys.Request{
+		s.memReqs = append(s.memReqs, memsys.Request{
 			ClientID:        v.id,
-			CPUSeconds:      cpuGrants[i].Seconds,
-			CoreCPI:         demands[i].CoreCPI,
-			LLCRefsPerInstr: demands[i].LLCRefsPerInstr,
-			BytesPerInstr:   demands[i].BytesPerInstr,
-			WorkingSetBytes: demands[i].WorkingSetBytes,
-		}
+			CPUSeconds:      s.cpuGrants[i].Seconds,
+			CoreCPI:         s.demands[i].CoreCPI,
+			LLCRefsPerInstr: s.demands[i].LLCRefsPerInstr,
+			BytesPerInstr:   s.demands[i].BytesPerInstr,
+			WorkingSetBytes: s.demands[i].WorkingSetBytes,
+		})
 	}
-	memRes := s.mem.Compute(tickSec, memReqs)
+	s.memResults = s.mem.ComputeInto(s.memResults[:0], tickSec, s.memReqs)
 
 	// Disk.
-	diskReqs := make([]disk.Request, n)
+	s.diskReqs = s.diskReqs[:0]
 	for i, v := range s.vms {
 		th := v.cg.Throttle()
-		diskReqs[i] = disk.Request{
+		s.diskReqs = append(s.diskReqs, disk.Request{
 			ClientID: v.id,
-			Ops:      demands[i].IOOps,
-			Bytes:    demands[i].IOBytes,
+			Ops:      s.demands[i].IOOps,
+			Bytes:    s.demands[i].IOBytes,
 			CapIOPS:  th.ReadIOPS,
 			CapBPS:   th.ReadBPS,
-		}
+		})
 	}
-	diskGrants := s.disk.Allocate(tickSec, diskReqs)
+	s.diskGrants = s.disk.AllocateInto(s.diskGrants[:0], tickSec, s.diskReqs)
 
-	// Account and advance.
+	// Account.
 	for i, v := range s.vms {
 		g := Grant{
-			CPUSeconds:   cpuGrants[i].Seconds,
-			Instructions: memRes[i].Instructions,
-			CPI:          memRes[i].CPI,
-			IOOps:        diskGrants[i].Ops,
-			IOBytes:      diskGrants[i].Bytes,
-			IOWaitMs:     diskGrants[i].WaitMs,
-			MemBytes:     memRes[i].MemBytes,
+			CPUSeconds:   s.cpuGrants[i].Seconds,
+			Instructions: s.memResults[i].Instructions,
+			CPI:          s.memResults[i].CPI,
+			IOOps:        s.diskGrants[i].Ops,
+			IOBytes:      s.diskGrants[i].Bytes,
+			IOWaitMs:     s.diskGrants[i].WaitMs,
+			MemBytes:     s.memResults[i].MemBytes,
 		}
 		v.lastGrant = g
 		v.cg.AddCPU(g.CPUSeconds)
 		v.cg.AddBlkio(g.IOOps, g.IOBytes, g.IOWaitMs)
-		v.cg.AddPerf(memRes[i].Cycles, memRes[i].Instructions, memRes[i].LLCRefs, memRes[i].LLCMisses)
+		v.cg.AddPerf(s.memResults[i].Cycles, s.memResults[i].Instructions,
+			s.memResults[i].LLCRefs, s.memResults[i].LLCMisses)
+	}
+}
+
+// advancePhase hands every VM its granted resources. Run sequentially in
+// placement order across all servers after every grant phase finished, so
+// Advance implementations may mutate cross-server state (a task shared
+// between executors, a framework's bookkeeping) without synchronization
+// and with a deterministic ordering.
+func (s *Server) advancePhase(tickSec float64) {
+	for _, v := range s.vms {
 		if !v.Idle() {
-			v.workload.Advance(tickSec, g)
+			v.workload.Advance(tickSec, v.lastGrant)
 		}
 	}
 }
@@ -279,11 +324,51 @@ func (s *Server) tick(tickSec float64) {
 type Cluster struct {
 	servers []*Server
 	vmsByID map[string]*VM
+
+	// workers bounds the goroutines used for the parallel grant phase:
+	// 1 forces the sequential mode, 0 defers to the package default.
+	workers int
+}
+
+// defaultTickWorkers is the package-wide worker default for clusters that
+// never called SetTickWorkers; 0 means GOMAXPROCS. It is atomic so tests
+// and tools can flip modes without racing live clusters.
+var defaultTickWorkers atomic.Int64
+
+// SetDefaultTickWorkers sets the package-wide default worker count for
+// Cluster.Tick and returns the previous setting. n == 1 makes every
+// cluster tick sequentially, n <= 0 restores the automatic (GOMAXPROCS)
+// default. Per-cluster SetTickWorkers overrides it.
+func SetDefaultTickWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultTickWorkers.Swap(int64(n)))
 }
 
 // New creates an empty cluster.
 func New() *Cluster {
 	return &Cluster{vmsByID: make(map[string]*VM)}
+}
+
+// SetTickWorkers bounds the worker pool used to run the per-server grant
+// phase: 1 selects the deterministic sequential mode, 0 (the default)
+// defers to SetDefaultTickWorkers / GOMAXPROCS. Both modes produce
+// bit-for-bit identical simulations; see DESIGN.md §5.1.
+func (c *Cluster) SetTickWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+}
+
+// TickWorkers returns the effective worker bound for this cluster's tick.
+func (c *Cluster) TickWorkers() int {
+	w := c.workers
+	if w == 0 {
+		w = int(defaultTickWorkers.Load())
+	}
+	return sim.Workers(w)
 }
 
 // AddServer creates a server with the given id and configuration.
@@ -394,21 +479,50 @@ func (c *Cluster) VMs() []*VM {
 	return out
 }
 
+// EachVM calls fn for every VM across all servers in placement order
+// without building the copy VMs() returns. fn must not add, remove or
+// migrate VMs.
+func (c *Cluster) EachVM(fn func(*VM)) {
+	for _, s := range c.servers {
+		for _, v := range s.vms {
+			fn(v)
+		}
+	}
+}
+
 // AppVMs returns the VMs belonging to the given application id, across
 // all servers.
 func (c *Cluster) AppVMs(appID string) []*VM {
 	var out []*VM
-	for _, v := range c.VMs() {
-		if v.appID == appID {
-			out = append(out, v)
-		}
-	}
+	c.EachAppVM(appID, func(v *VM) { out = append(out, v) })
 	return out
 }
 
-// Tick advances every server's resource pipeline by one tick.
-func (c *Cluster) Tick(clk *sim.Clock) {
+// EachAppVM calls fn for every VM of the given application in placement
+// order, without copying. fn must not add, remove or migrate VMs.
+func (c *Cluster) EachAppVM(appID string, fn func(*VM)) {
 	for _, s := range c.servers {
-		s.tick(clk.TickSeconds())
+		for _, v := range s.vms {
+			if v.appID == appID {
+				fn(v)
+			}
+		}
+	}
+}
+
+// Tick advances every server's resource pipeline by one tick: the
+// server-local grant phases fan out across the worker pool (every server's
+// state — resource models, RNG streams, cgroups — is goroutine-private, so
+// any interleaving yields the same result), then the advance phase hands
+// grants to workloads sequentially in placement order, because framework
+// executors may mutate task state shared across servers (speculative and
+// cloned attempts of one task run on several machines).
+func (c *Cluster) Tick(clk *sim.Clock) {
+	tickSec := clk.TickSeconds()
+	sim.ForEachParallel(len(c.servers), c.TickWorkers(), func(i int) {
+		c.servers[i].grantPhase(tickSec)
+	})
+	for _, s := range c.servers {
+		s.advancePhase(tickSec)
 	}
 }

@@ -51,6 +51,8 @@ type Monitor struct {
 	ewmaLLC    map[string]*stats.EWMA
 	ewmaIOBps  map[string]*stats.EWMA
 	ewmaIOPS   map[string]*stats.EWMA
+
+	seen map[string]bool // reused per-Sample scratch
 }
 
 // NewMonitor creates a monitor over one server's hypervisor. alpha is
@@ -75,18 +77,20 @@ func (m *Monitor) Sample(nowSec, intervalSec float64) Sample {
 	if intervalSec <= 0 {
 		intervalSec = 1
 	}
-	seen := make(map[string]bool)
-	for _, id := range m.hv.ListDomains() {
-		now, err := m.hv.DomainStats(id)
-		if err != nil {
-			continue // domain vanished between list and read
-		}
+	if m.seen == nil {
+		m.seen = make(map[string]bool)
+	}
+	clear(m.seen)
+	seen := m.seen
+	// A single pass over the hypervisor's domains in placement order — the
+	// same order ListDomains reports — without the per-id domain lookup.
+	m.hv.EachDomainStats(func(id string, now cgroup.Counters) {
 		seen[id] = true
 		prev, had := m.prev[id]
 		m.prev[id] = now
 		if !had {
 			// First observation of this domain: no delta yet.
-			continue
+			return
 		}
 		d := cgroup.Delta(now, prev)
 		vs := VMSample{
@@ -114,7 +118,7 @@ func (m *Monitor) Sample(nowSec, intervalSec float64) Sample {
 			}
 		}
 		out.VMs[id] = vs
-	}
+	})
 	// Drop state for domains that disappeared (terminated or migrated).
 	for id := range m.prev {
 		if !seen[id] {

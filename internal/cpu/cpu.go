@@ -46,6 +46,11 @@ type Grant struct {
 // concurrent use; the cluster steps it from the simulation loop.
 type Scheduler struct {
 	cfg Config
+
+	// Reused per-Allocate scratch (one scheduler serves one server, ticked
+	// by a single goroutine, so plain fields suffice).
+	clamped []float64
+	fair    fairScratch
 }
 
 // New creates a scheduler.
@@ -63,11 +68,18 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // clamped to the VM's vcpus and its hard cap; remaining contention for
 // physical cores is resolved max-min fairly.
 func (s *Scheduler) Allocate(tickSec float64, reqs []Request) []Grant {
+	return s.AllocateInto(nil, tickSec, reqs)
+}
+
+// AllocateInto is Allocate appending into dst (usually dst[:0] of a
+// caller-owned buffer), so the per-tick hot path allocates nothing once
+// the buffers reach steady-state size.
+func (s *Scheduler) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Grant {
 	if tickSec <= 0 {
 		panic("cpu: nonpositive tick")
 	}
-	clamped := make([]float64, len(reqs))
-	for i, r := range reqs {
+	s.clamped = s.clamped[:0]
+	for _, r := range reqs {
 		if r.Seconds < 0 {
 			panic(fmt.Sprintf("cpu: negative demand from %s", r.ClientID))
 		}
@@ -78,20 +90,33 @@ func (s *Scheduler) Allocate(tickSec float64, reqs []Request) []Grant {
 		if r.CapCores > 0 {
 			d = math.Min(d, r.CapCores*tickSec)
 		}
-		clamped[i] = d
+		s.clamped = append(s.clamped, d)
 	}
-	shares := maxMinFair(clamped, s.cfg.Cores*tickSec)
-	grants := make([]Grant, len(reqs))
+	shares := s.fair.fill(s.clamped, s.cfg.Cores*tickSec)
 	for i, r := range reqs {
-		grants[i] = Grant{ClientID: r.ClientID, Seconds: shares[i]}
+		dst = append(dst, Grant{ClientID: r.ClientID, Seconds: shares[i]})
 	}
-	return grants
+	return dst
 }
 
-// maxMinFair water-fills capacity across demands.
-func maxMinFair(demands []float64, capacity float64) []float64 {
+// fairScratch holds the reusable buffers of one max-min fair computation.
+type fairScratch struct {
+	out []float64
+	idx []int
+}
+
+// fill water-fills capacity across demands max-min fairly, returning a
+// slice owned by the scratch (valid until the next fill call).
+func (f *fairScratch) fill(demands []float64, capacity float64) []float64 {
 	n := len(demands)
-	out := make([]float64, n)
+	if cap(f.out) < n {
+		f.out = make([]float64, n)
+	}
+	f.out = f.out[:n]
+	out := f.out
+	for i := range out {
+		out[i] = 0
+	}
 	if n == 0 {
 		return out
 	}
@@ -103,10 +128,11 @@ func maxMinFair(demands []float64, capacity float64) []float64 {
 		copy(out, demands)
 		return out
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	f.idx = f.idx[:0]
+	for i := 0; i < n; i++ {
+		f.idx = append(f.idx, i)
 	}
+	idx := f.idx
 	sort.Slice(idx, func(a, b int) bool { return demands[idx[a]] < demands[idx[b]] })
 	left := capacity
 	for k, i := range idx {

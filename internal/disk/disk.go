@@ -119,6 +119,15 @@ type Disk struct {
 
 	lastUtilization float64
 	lastRandomLoad  float64
+
+	// Reused per-Allocate scratch (one disk serves one server, ticked by a
+	// single goroutine, so plain fields suffice).
+	capped     []Request
+	opSize     []float64
+	cost       []float64
+	timeDemand []float64
+	keep       map[string]bool
+	fair       fairScratch
 }
 
 // New creates a device with the given config and random stream.
@@ -146,22 +155,30 @@ func (d *Disk) RandomLoad() float64 { return d.lastRandomLoad }
 // Allocate serves one tick of I/O. tickSec is the tick length in seconds.
 // Grants are returned in the order of the requests.
 func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
+	return d.AllocateInto(nil, tickSec, reqs)
+}
+
+// AllocateInto is Allocate appending into dst (usually dst[:0] of a
+// caller-owned buffer), so the per-tick hot path allocates nothing once
+// the buffers reach steady-state size.
+func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Grant {
 	if tickSec <= 0 {
 		panic("disk: nonpositive tick")
 	}
-	grants := make([]Grant, len(reqs))
+	base := len(dst)
 	seekCost := 1 / d.cfg.IOPSCapacity
 
 	// Phase 1: apply throttle caps. A throttled client queues above its
 	// cap inside its own cgroup, invisible to the shared device — this is
 	// how blkio throttling shields victims from an antagonist's demand.
-	capped := make([]Request, len(reqs))
-	opSize := make([]float64, len(reqs))
-	for i, r := range reqs {
+	d.capped = d.capped[:0]
+	d.opSize = d.opSize[:0]
+	for _, r := range reqs {
 		if r.Ops < 0 || r.Bytes < 0 {
 			panic(fmt.Sprintf("disk: negative demand from %s", r.ClientID))
 		}
 		c := r
+		var size float64
 		if c.Ops == 0 && c.Bytes > 0 {
 			c.Ops = c.Bytes / (256 << 10) // bytes-only demand: assume 256 KiB ops
 		}
@@ -169,17 +186,19 @@ func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
 			c.Ops = math.Min(c.Ops, r.CapIOPS*tickSec)
 		}
 		if c.Ops > 0 {
-			opSize[i] = r.Bytes / math.Max(c.Ops, 1e-12)
+			size = r.Bytes / math.Max(c.Ops, 1e-12)
 			if r.Ops > 0 {
-				opSize[i] = r.Bytes / r.Ops
+				size = r.Bytes / r.Ops
 			}
 		}
-		if r.CapBPS > 0 && opSize[i] > 0 {
-			c.Ops = math.Min(c.Ops, r.CapBPS*tickSec/opSize[i])
+		if r.CapBPS > 0 && size > 0 {
+			c.Ops = math.Min(c.Ops, r.CapBPS*tickSec/size)
 		}
-		c.Bytes = c.Ops * opSize[i]
-		capped[i] = c
+		c.Bytes = c.Ops * size
+		d.capped = append(d.capped, c)
+		d.opSize = append(d.opSize, size)
 	}
+	capped, opSize := d.capped, d.opSize
 
 	// Phase 2: random load from small-op clients' demanded device time.
 	var randomTime float64
@@ -194,33 +213,35 @@ func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
 	// Phase 3: per-op device-time cost under the degraded bandwidth, and
 	// total utilization.
 	effBW := d.cfg.BandwidthCapacity / (1 + d.cfg.DegradeScale*randomLoad)
-	cost := make([]float64, len(reqs))
-	timeDemand := make([]float64, len(reqs))
+	d.cost = d.cost[:0]
+	d.timeDemand = d.timeDemand[:0]
 	var totalTime float64
 	for i, c := range capped {
-		if c.Ops == 0 {
-			continue
+		var costI, demandI float64
+		if c.Ops > 0 {
+			fixed := seekCost
+			if opSize[i] > d.cfg.SmallOpBytes {
+				fixed = seekCost * d.cfg.SeqFixedFactor
+			}
+			costI = fixed + opSize[i]/effBW
+			demandI = c.Ops * costI
+			totalTime += demandI
 		}
-		fixed := seekCost
-		if opSize[i] > d.cfg.SmallOpBytes {
-			fixed = seekCost * d.cfg.SeqFixedFactor
-		}
-		cost[i] = fixed + opSize[i]/effBW
-		timeDemand[i] = c.Ops * cost[i]
-		totalTime += timeDemand[i]
+		d.cost = append(d.cost, costI)
+		d.timeDemand = append(d.timeDemand, demandI)
 	}
 	util := totalTime / tickSec
 	d.lastUtilization = util
 
 	// Phase 4: max-min fair share of device time; convert back to ops.
-	shares := maxMinFair(timeDemand, tickSec)
+	shares := d.fair.fill(d.timeDemand, tickSec)
 	for i := range reqs {
 		g := Grant{ClientID: reqs[i].ClientID}
-		if cost[i] > 0 {
-			g.Ops = shares[i] / cost[i]
+		if d.cost[i] > 0 {
+			g.Ops = shares[i] / d.cost[i]
 			g.Bytes = g.Ops * opSize[i]
 		}
-		grants[i] = g
+		dst = append(dst, g)
 	}
 
 	// Phase 5: queueing delay. The blow-up tracks utilization but is
@@ -229,10 +250,14 @@ func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
 	// both large and uneven (per-client AR(1) luck).
 	q := queueIntensity(util, d.cfg.MaxQueueFactor)
 	rlFactor := d.cfg.BaselineWaitFactor + math.Min(1, d.cfg.RandomWaitScale*randomLoad)
-	keep := make(map[string]bool, len(reqs))
+	if d.keep == nil {
+		d.keep = make(map[string]bool, len(reqs))
+	}
+	clear(d.keep)
+	grants := dst[base:]
 	for i := range grants {
 		id := grants[i].ClientID
-		keep[id] = true
+		d.keep[id] = true
 		luck := 1 + d.jitter.Step(id)
 		if luck < 0 {
 			luck = 0
@@ -240,8 +265,8 @@ func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
 		waitPerOp := d.cfg.BaseLatencyMs * (1 + d.cfg.CongestionScale*q*rlFactor*luck)
 		grants[i].WaitMs = grants[i].Ops * waitPerOp
 	}
-	d.jitter.GC(keep)
-	return grants
+	d.jitter.GC(d.keep)
+	return dst
 }
 
 // queueIntensity maps utilization to a queueing factor: ~u^2/(1-u) below
@@ -261,10 +286,24 @@ func queueIntensity(util, maxFactor float64) float64 {
 	return q
 }
 
-// maxMinFair water-fills the capacity across the demands.
-func maxMinFair(demands []float64, capacity float64) []float64 {
+// fairScratch holds the reusable buffers of one max-min fair computation.
+type fairScratch struct {
+	out []float64
+	idx []int
+}
+
+// fill water-fills the capacity across the demands max-min fairly,
+// returning a slice owned by the scratch (valid until the next fill call).
+func (f *fairScratch) fill(demands []float64, capacity float64) []float64 {
 	n := len(demands)
-	out := make([]float64, n)
+	if cap(f.out) < n {
+		f.out = make([]float64, n)
+	}
+	f.out = f.out[:n]
+	out := f.out
+	for i := range out {
+		out[i] = 0
+	}
 	if n == 0 {
 		return out
 	}
@@ -276,10 +315,11 @@ func maxMinFair(demands []float64, capacity float64) []float64 {
 		copy(out, demands)
 		return out
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	f.idx = f.idx[:0]
+	for i := 0; i < n; i++ {
+		f.idx = append(f.idx, i)
 	}
+	idx := f.idx
 	sort.Slice(idx, func(a, b int) bool { return demands[idx[a]] < demands[idx[b]] })
 	left := capacity
 	for k, i := range idx {

@@ -189,6 +189,11 @@ type Executor struct {
 	// so attempt end times can be stamped without threading the clock
 	// through cluster.Workload.
 	lastNow float64
+
+	// Reused per-Advance scratch; an executor is advanced by exactly one
+	// goroutine per tick, so plain fields suffice.
+	ios  []float64
+	cpus []float64
 }
 
 var _ cluster.Workload = (*Executor)(nil)
@@ -327,13 +332,16 @@ func (e *Executor) Demand(tickSec float64) cluster.Demand {
 // progress on I/O progress, and retire finished attempts.
 func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 	var totIO, totCPU float64
-	ios := make([]float64, len(e.running))
-	cpus := make([]float64, len(e.running))
-	for i, a := range e.running {
-		ios[i], cpus[i] = attemptDemand(a, tickSec)
-		totIO += ios[i]
-		totCPU += cpus[i]
+	e.ios = e.ios[:0]
+	e.cpus = e.cpus[:0]
+	for _, a := range e.running {
+		io, cpu := attemptDemand(a, tickSec)
+		e.ios = append(e.ios, io)
+		e.cpus = append(e.cpus, cpu)
+		totIO += io
+		totCPU += cpu
 	}
+	ios, cpus := e.ios, e.cpus
 	for i, a := range e.running {
 		s := a.task.spec
 		if a.cachedInput {
@@ -355,8 +363,9 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 			a.instrDone += math.Min(instr, allowed)
 		}
 	}
-	// Retire completed attempts after the whole tick is applied.
-	var still []*Attempt
+	// Retire completed attempts after the whole tick is applied, filtering
+	// in place to keep the backing array.
+	still := e.running[:0]
 	endSec := e.lastNow + tickSec
 	for _, a := range e.running {
 		if a.done() {
@@ -365,6 +374,9 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 		} else {
 			still = append(still, a)
 		}
+	}
+	for i := len(still); i < len(e.running); i++ {
+		e.running[i] = nil // drop references so completed attempts can be GC'd
 	}
 	e.running = still
 	e.lastNow = endSec

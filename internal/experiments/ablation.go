@@ -33,13 +33,15 @@ type AblationControlResult struct {
 	Rows []AblationControlRow
 }
 
-// AblationControl runs the three policies.
+// AblationControl runs the three policies, each an independent testbed,
+// concurrently (bounded by MaxParallelRuns).
 func AblationControl(seed int64) AblationControlResult {
-	var res AblationControlResult
-	for _, policy := range []string{"cubic", "aimd", "static"} {
-		res.Rows = append(res.Rows, ablationControlRun(seed, policy))
-	}
-	return res
+	policies := []string{"cubic", "aimd", "static"}
+	rows := make([]AblationControlRow, len(policies))
+	forEachRun(len(policies), func(i int) {
+		rows[i] = ablationControlRun(seed, policies[i])
+	})
+	return AblationControlResult{Rows: rows}
 }
 
 func ablationControlRun(seed int64, policy string) AblationControlRow {

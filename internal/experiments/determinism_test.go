@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+)
+
+// setParallel forces both parallelism knobs for the duration of a test:
+// tick workers inside each cluster and concurrent experiment repetitions.
+// Explicit counts matter — on a single-core host GOMAXPROCS-based
+// defaults resolve to 1 worker, which would not exercise the concurrent
+// paths at all.
+func setParallel(t *testing.T, tickWorkers, runs int) {
+	t.Helper()
+	prevTick := cluster.SetDefaultTickWorkers(tickWorkers)
+	prevRuns := SetMaxParallelRuns(runs)
+	t.Cleanup(func() {
+		cluster.SetDefaultTickWorkers(prevTick)
+		SetMaxParallelRuns(prevRuns)
+	})
+}
+
+// TestParallelMatchesSequential is the determinism contract of the
+// parallel simulation core: for the same seed, the concurrent tick phase
+// and concurrent experiment repetitions must produce results bit-for-bit
+// identical to the sequential mode. Run with -race to also exercise the
+// data-race freedom of the grant phase and the run fan-out.
+func TestParallelMatchesSequential(t *testing.T) {
+	const s = seed
+
+	smallVariability := VariabilityConfig{
+		Seed:             s,
+		Servers:          3,
+		WorkersPerServer: 6,
+		Runs:             3,
+		Fio:              2,
+		Streams:          2,
+		Tasks:            18,
+		Limit:            time.Hour,
+	}
+	mix := smallMix()
+	mix.NumMR, mix.NumSpark = 4, 4
+
+	cases := []struct {
+		name string
+		run  func() any
+	}{
+		{"Fig3", func() any { return Fig3(s) }},
+		{"Fig9", func() any { return Fig9(s) }},
+		{"Fig12", func() any { return Fig12With(smallVariability, []Scheme{SchemeLATE(), SchemePerfCloud()}) }},
+		{"Fig11", func() any { return Fig11With(mix, []Scheme{SchemeLATE()}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setParallel(t, 1, 1)
+			sequential := tc.run()
+
+			setParallel(t, 4, 4)
+			parallel := tc.run()
+
+			if !reflect.DeepEqual(sequential, parallel) {
+				t.Errorf("parallel result differs from sequential:\nseq: %+v\npar: %+v", sequential, parallel)
+			}
+		})
+	}
+}

@@ -46,10 +46,13 @@ type HeteroResult struct {
 }
 
 // Heterogeneous runs repeated terasort jobs on a 6-server fleet (2 slow)
-// under each scheme.
+// under each scheme. The four schemes are independent testbeds, so they
+// run concurrently (bounded by MaxParallelRuns), each writing its own row.
 func Heterogeneous(seed int64) HeteroResult {
-	var res HeteroResult
-	for _, sch := range []Scheme{SchemeDefault(), SchemeLATE(), SchemePerfCloud(), SchemeHybrid()} {
+	schemes := []Scheme{SchemeDefault(), SchemeLATE(), SchemePerfCloud(), SchemeHybrid()}
+	rows := make([]HeteroRow, len(schemes))
+	forEachRun(len(schemes), func(si int) {
+		sch := schemes[si]
 		var pc *core.Config
 		if sch.PerfCloud {
 			pc = ControllerConfig()
@@ -87,9 +90,9 @@ func Heterogeneous(seed int64) HeteroResult {
 		for _, v := range jcts {
 			sum += v
 		}
-		res.Rows = append(res.Rows, HeteroRow{Scheme: sch.Name, MeanJCT: sum / float64(len(jcts))})
-	}
-	return res
+		rows[si] = HeteroRow{Scheme: sch.Name, MeanJCT: sum / float64(len(jcts))}
+	})
+	return HeteroResult{Rows: rows}
 }
 
 // Row returns the named scheme's row.
@@ -200,12 +203,23 @@ func Migration(seed int64) MigrationResult {
 		}
 		return sum / float64(len(jcts)), moves, len(spread)
 	}
-	var res MigrationResult
-	var spread0 int
-	res.JCTWithout, _, spread0 = run(false)
-	_ = spread0
-	res.JCTWith, res.Migrations, res.FinalSpread = run(true)
-	return res
+	// The two arms are independent engines; run them concurrently.
+	type arm struct {
+		jct    float64
+		moves  int
+		spread int
+	}
+	arms := make([]arm, 2)
+	forEachRun(len(arms), func(i int) {
+		a := &arms[i]
+		a.jct, a.moves, a.spread = run(i == 1)
+	})
+	return MigrationResult{
+		JCTWithout:  arms[0].jct,
+		JCTWith:     arms[1].jct,
+		Migrations:  arms[1].moves,
+		FinalSpread: arms[1].spread,
+	}
 }
 
 // Table renders the migration experiment.

@@ -373,12 +373,23 @@ func Fig11(seed int64) Fig11Result {
 }
 
 // Fig11With runs a custom mix size and scheme list (tests shrink it).
+// The interference-free baseline and the per-scheme mixes are independent
+// engines, so they run concurrently (bounded by MaxParallelRuns), each
+// writing its own slot; rows are then assembled in scheme order.
 func Fig11With(cfg LargeScaleConfig, schemes []Scheme) Fig11Result {
-	baseline := runMix(cfg, SchemeDefault(), false)
+	outs := make([]MixOutcome, len(schemes)+1)
+	forEachRun(len(outs), func(i int) {
+		if i == 0 {
+			outs[i] = runMix(cfg, SchemeDefault(), false)
+		} else {
+			outs[i] = runMix(cfg, schemes[i-1], true)
+		}
+	})
+	baseline := outs[0]
 	specs := generateMix(cfg)
 	var res Fig11Result
-	for _, sch := range schemes {
-		out := runMix(cfg, sch, true)
+	for si, sch := range schemes {
+		out := outs[si+1]
 		rows := map[string]*Fig11Row{}
 		for _, fw := range []string{"all", "mapreduce", "spark"} {
 			rows[fw] = &Fig11Row{

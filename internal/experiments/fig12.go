@@ -60,16 +60,42 @@ func Fig12(seed int64) Fig12Result {
 	return Fig12With(cfg, []Scheme{SchemeLATE(), SchemeDolly(2), SchemePerfCloud()})
 }
 
-// Fig12With runs a custom size and scheme list.
+// Fig12With runs a custom size and scheme list. Every repetition is an
+// independent engine with its own seed, so the (workload, scheme, run)
+// grid — plus the per-workload interference-free baselines — is fanned
+// out across goroutines (bounded by MaxParallelRuns); each repetition
+// writes only its own slot, and rows are assembled afterwards in the same
+// deterministic order as the sequential loop.
 func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
-	var res Fig12Result
-	for _, workload := range []string{"terasort", "spark-logreg"} {
-		base := fig12Run(cfg, cfg.Seed, workload, SchemeDefault(), false)
-		for _, sch := range schemes {
-			var norm []float64
+	workloads := []string{"terasort", "spark-logreg"}
+	type job struct{ wi, si, run int } // si < 0 marks the baseline run
+	var jobs []job
+	base := make([]float64, len(workloads))
+	jcts := make([][][]float64, len(workloads))
+	for wi := range workloads {
+		jobs = append(jobs, job{wi: wi, si: -1})
+		jcts[wi] = make([][]float64, len(schemes))
+		for si := range schemes {
+			jcts[wi][si] = make([]float64, cfg.Runs)
 			for run := 0; run < cfg.Runs; run++ {
-				jct := fig12Run(cfg, cfg.Seed+int64(run)*997, workload, sch, true)
-				norm = append(norm, jct/base)
+				jobs = append(jobs, job{wi: wi, si: si, run: run})
+			}
+		}
+	}
+	forEachRun(len(jobs), func(k int) {
+		j := jobs[k]
+		if j.si < 0 {
+			base[j.wi] = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false)
+			return
+		}
+		jcts[j.wi][j.si][j.run] = fig12Run(cfg, cfg.Seed+int64(j.run)*997, workloads[j.wi], schemes[j.si], true)
+	})
+	var res Fig12Result
+	for wi, workload := range workloads {
+		for si, sch := range schemes {
+			var norm []float64
+			for _, jct := range jcts[wi][si] {
+				norm = append(norm, jct/base[wi])
 			}
 			res.Rows = append(res.Rows, Fig12Row{
 				Workload: workload,

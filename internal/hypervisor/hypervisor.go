@@ -33,12 +33,20 @@ func (h *Hypervisor) ServerID() string { return h.server.ID() }
 
 // ListDomains returns the ids of all VMs on the server.
 func (h *Hypervisor) ListDomains() []string {
-	vms := h.server.VMs()
-	out := make([]string, len(vms))
-	for i, v := range vms {
-		out[i] = v.ID()
-	}
+	out := make([]string, 0, h.server.NumVMs())
+	h.server.EachVM(func(v *cluster.VM) {
+		out = append(out, v.ID())
+	})
 	return out
+}
+
+// EachDomainStats calls fn once per domain, in placement order, with the
+// domain id and its cumulative cgroup counters. It is the allocation-lean
+// path samplers use instead of ListDomains + per-id DomainStats lookups.
+func (h *Hypervisor) EachDomainStats(fn func(id string, c cgroup.Counters)) {
+	h.server.EachVM(func(v *cluster.VM) {
+		fn(v.ID(), v.Cgroup().Snapshot())
+	})
 }
 
 func (h *Hypervisor) domain(id string) (*cluster.VM, error) {

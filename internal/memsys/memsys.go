@@ -101,6 +101,14 @@ type System struct {
 	jitter *sim.AR1
 
 	lastPressure float64
+
+	// Reused per-Compute scratch (one system serves one server, ticked by
+	// a single goroutine, so plain fields suffice).
+	nominalInstr []float64
+	keep         map[string]bool
+	shares       []float64
+	weights      []float64
+	wants        []float64
 }
 
 // New creates a memory system with the given config and random stream.
@@ -121,28 +129,37 @@ func (s *System) Pressure() float64 { return s.lastPressure }
 // Compute resolves one tick of shared-cache and bandwidth behaviour.
 // Results are returned in request order.
 func (s *System) Compute(tickSec float64, reqs []Request) []Result {
+	return s.ComputeInto(nil, tickSec, reqs)
+}
+
+// ComputeInto is Compute appending into dst (usually dst[:0] of a
+// caller-owned buffer), so the per-tick hot path allocates nothing once
+// the buffers reach steady-state size.
+func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Result {
 	if tickSec <= 0 {
 		panic("memsys: nonpositive tick")
 	}
-	out := make([]Result, len(reqs))
 
 	// Nominal instruction rate (at core CPI) determines both LLC occupancy
 	// weight and bandwidth demand. Using the stall-free rate here keeps the
 	// computation a single pass; the resulting demand overestimate under
 	// heavy contention is absorbed by the clip in the congestion term.
-	nominalInstr := make([]float64, len(reqs))
+	s.nominalInstr = s.nominalInstr[:0]
 	var totalRefRate, totalDemand float64
-	for i, r := range reqs {
+	for _, r := range reqs {
 		if r.CPUSeconds < 0 || r.CoreCPI <= 0 && r.CPUSeconds > 0 {
 			panic(fmt.Sprintf("memsys: bad request %+v", r))
 		}
-		if r.CPUSeconds == 0 {
-			continue
+		var nominal float64
+		if r.CPUSeconds > 0 {
+			nominal = r.CPUSeconds * s.cfg.FreqHz / r.CoreCPI
+			totalRefRate += nominal * r.LLCRefsPerInstr
+			totalDemand += nominal * r.BytesPerInstr
 		}
-		nominalInstr[i] = r.CPUSeconds * s.cfg.FreqHz / r.CoreCPI
-		totalRefRate += nominalInstr[i] * r.LLCRefsPerInstr
-		totalDemand += nominalInstr[i] * r.BytesPerInstr
+		s.nominalInstr = append(s.nominalInstr, nominal)
 	}
+	nominalInstr := s.nominalInstr
+	_ = totalRefRate
 
 	// Bandwidth pressure and congestion-driven penalty inflation.
 	pressure := totalDemand / (s.cfg.BandwidthCapacity * tickSec)
@@ -152,14 +169,17 @@ func (s *System) Compute(tickSec float64, reqs []Request) []Result {
 		over = 3 // saturate: queues cannot grow without bound in a tick
 	}
 
-	shares := llcShares(s.cfg.LLCBytes, reqs, nominalInstr)
+	shares := s.llcShares(s.cfg.LLCBytes, reqs, nominalInstr)
 
-	keep := make(map[string]bool, len(reqs))
+	if s.keep == nil {
+		s.keep = make(map[string]bool, len(reqs))
+	}
+	clear(s.keep)
 	for i, r := range reqs {
-		keep[r.ClientID] = true
+		s.keep[r.ClientID] = true
 		res := Result{ClientID: r.ClientID}
 		if r.CPUSeconds == 0 || nominalInstr[i] == 0 {
-			out[i] = res
+			dst = append(dst, res)
 			continue
 		}
 		res.MissRate = missRate(r.WorkingSetBytes, shares[i])
@@ -177,10 +197,10 @@ func (s *System) Compute(tickSec float64, reqs []Request) []Result {
 		res.LLCRefs = res.Instructions * r.LLCRefsPerInstr
 		res.LLCMisses = res.LLCRefs * res.MissRate
 		res.MemBytes = res.Instructions * r.BytesPerInstr
-		out[i] = res
+		dst = append(dst, res)
 	}
-	s.jitter.GC(keep)
-	return out
+	s.jitter.GC(s.keep)
+	return dst
 }
 
 // llcShares partitions the cache between clients by water-filling on
@@ -189,13 +209,12 @@ func (s *System) Compute(tickSec float64, reqs []Request) []Result {
 // the freed capacity is redistributed among the cache-hungry clients.
 // This keeps a small-footprint VM (e.g. sysbench cpu) effectively fully
 // cached even next to a streaming antagonist, as real LRU-like shared
-// caches do for hot small sets.
-func llcShares(llc float64, reqs []Request, nominalInstr []float64) []float64 {
+// caches do for hot small sets. The returned slice is scratch owned by the
+// system, valid until the next call.
+func (s *System) llcShares(llc float64, reqs []Request, nominalInstr []float64) []float64 {
 	n := len(reqs)
-	shares := make([]float64, n)
-	weights := make([]float64, n)
+	shares, weights, wants := growZeroed(&s.shares, n), growZeroed(&s.weights, n), growZeroed(&s.wants, n)
 	// wants[i] tracks how much more cache the client could still use.
-	wants := make([]float64, n)
 	nActive := 0
 	for i, r := range reqs {
 		weights[i] = nominalInstr[i] * r.LLCRefsPerInstr
@@ -256,6 +275,20 @@ func llcShares(llc float64, reqs []Request, nominalInstr []float64) []float64 {
 		}
 	}
 	return shares
+}
+
+// growZeroed resizes *buf to n elements, reusing capacity, and returns it
+// zeroed.
+func growZeroed(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	out := *buf
+	for i := range out {
+		out[i] = 0
+	}
+	return out
 }
 
 // missRate maps a working set against a cache share: a working set that

@@ -61,6 +61,7 @@ type Engine struct {
 	order   []entry
 	nextID  int
 	stopped bool
+	dirty   bool // order needs re-sorting before the next Step
 	rng     *RNG
 }
 
@@ -98,13 +99,35 @@ func (e *Engine) Register(t Tickable) { e.RegisterPriority(t, 0) }
 // and controllers such as the PerfCloud node manager at +1 (observe the
 // finished tick).
 func (e *Engine) RegisterPriority(t Tickable, priority int) {
+	// Appending keeps registration O(1); the sort is deferred to the next
+	// Step so bulk registration (hundreds of components in the large-scale
+	// testbeds) costs one sort total instead of one per registration.
 	e.order = append(e.order, entry{id: e.nextID, priority: priority, t: t})
 	e.nextID++
-	sort.SliceStable(e.order, func(i, j int) bool { return e.order[i].priority < e.order[j].priority })
+	if n := len(e.order); n > 1 && e.order[n-2].priority > priority {
+		e.dirty = true
+	}
+}
+
+// ensureOrder sorts pending registrations into priority order. Sorting by
+// (priority, id) is equivalent to a stable sort on priority, so components
+// at equal priority keep registration order.
+func (e *Engine) ensureOrder() {
+	if !e.dirty {
+		return
+	}
+	sort.Slice(e.order, func(i, j int) bool {
+		if e.order[i].priority != e.order[j].priority {
+			return e.order[i].priority < e.order[j].priority
+		}
+		return e.order[i].id < e.order[j].id
+	})
+	e.dirty = false
 }
 
 // Step advances the simulation by exactly one tick.
 func (e *Engine) Step() {
+	e.ensureOrder()
 	for _, en := range e.order {
 		en.t.Tick(&e.clock)
 	}
