@@ -16,12 +16,19 @@ race:
 	go test -race ./internal/cluster/... ./internal/sim/... ./internal/experiments/...
 
 # check is the full local gate: vet, build, tests, and the race tier.
+# Benchmarks are tracked separately — run `make bench` to measure the
+# monitoring/detection hot loops; they are not part of this gate.
 check:
 	go vet ./...
 	go build ./...
 	go test ./...
 	$(MAKE) race
 
-# bench reproduces the paper figures and the parallel-core speedups.
+# bench measures the hot loops of the control plane — Monitor.Sample,
+# Correlator identification, and quiescent-cluster ticks — and records
+# the parsed results (iteration count, ns/op, B/op, allocs/op) in
+# BENCH_hotloop.json via cmd/benchjson. The raw `go test` output is
+# echoed so regressions are visible without opening the file.
 bench:
-	go test -bench=. -benchmem -benchtime=1x .
+	go test -run='^$$' -bench='MonitorSample|CorrelatorIdentify|QuiescentCluster' -benchmem \
+		./internal/core ./internal/cluster | go run ./cmd/benchjson -o BENCH_hotloop.json

@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench` output into JSON.
+//
+// It reads benchmark output on stdin, echoes every line to stdout
+// unchanged (so it can sit in a pipeline without hiding the results),
+// and writes a JSON array of the parsed benchmark results to the file
+// named by -o. Each entry records the benchmark name, the iteration
+// count, and the per-op metrics reported by the standard library
+// harness (ns/op always; B/op and allocs/op when -benchmem is on).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Count       int64   `json:"count"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8   12345   987.6 ns/op   512 B/op   7 allocs/op
+//
+// and reports whether the line was a benchmark result at all.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	count, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Count: count}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		}
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "file to write the JSON array to (default stdout, suppressing the echo)")
+	flag.Parse()
+
+	echo := *out != ""
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo {
+			fmt.Println(line)
+		}
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}

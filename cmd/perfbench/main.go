@@ -6,11 +6,17 @@
 // Usage:
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds both concurrency layers — per-server tick work inside a
 // cluster and independent experiment repetitions. 0 (the default) uses
 // GOMAXPROCS; 1 forces fully sequential execution. Either setting produces
 // bit-for-bit identical tables for the same seed.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected run,
+// for inspecting the simulation and monitoring hot loops with
+// `go tool pprof`. The heap profile is taken after all experiments
+// complete, preceded by a GC so it reflects live retained memory.
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"perfcloud/internal/cluster"
@@ -33,9 +41,40 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	timelines := flag.String("timelines", "", "directory to write raw time-series CSVs (Figs 3, 9, 10)")
 	parallel := flag.Int("parallel", 0, "worker bound for tick and run concurrency (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	cluster.SetDefaultTickWorkers(*parallel)
 	experiments.SetMaxParallelRuns(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "perfbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "perfbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "perfbench: wrote", *memprofile)
+		}()
+	}
 	if *timelines != "" {
 		if err := os.MkdirAll(*timelines, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"perfcloud/internal/sim"
+)
+
+// BenchmarkQuiescentCluster ticks a 16-server, 128-VM cluster in which
+// every VM is idle (no workload attached). This is the shape of the
+// large-scale mixes between task waves: most servers host only VMs that
+// currently place zero demand, yet the seed pipeline paid the full grant
+// phase (CPU, memory and disk allocation plus cgroup accounting) on every
+// one of them every tick.
+func BenchmarkQuiescentCluster(b *testing.B) {
+	eng := sim.NewEngine(100*time.Millisecond, 3)
+	cl := New()
+	cl.SetTickWorkers(1) // isolate the per-server cost from fan-out noise
+	for s := 0; s < 16; s++ {
+		srv := cl.AddServer(fmt.Sprintf("s%02d", s), DefaultServerConfig(), eng.RNG())
+		for i := 0; i < 8; i++ {
+			cl.AddVM(srv, fmt.Sprintf("s%02d-vm%d", s, i), 2, 8<<30, LowPriority, "")
+		}
+	}
+	clk := eng.Clock()
+	cl.Tick(clk) // settle scratch buffers and quiescence state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Tick(clk)
+	}
+}

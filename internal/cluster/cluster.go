@@ -135,7 +135,10 @@ func (v *VM) Server() *Server { return v.server }
 func (v *VM) Workload() Workload { return v.workload }
 
 // SetWorkload attaches (or, with nil, detaches) the VM's workload.
-func (v *VM) SetWorkload(w Workload) { v.workload = w }
+func (v *VM) SetWorkload(w Workload) {
+	v.workload = w
+	v.server.MarkDirty()
+}
 
 // Idle reports whether the VM has no runnable workload this tick.
 func (v *VM) Idle() bool { return v.workload == nil || v.workload.Done() }
@@ -171,6 +174,30 @@ type Server struct {
 	cache *ContentCache
 	vms   []*VM
 
+	// epoch counts placement changes (VM add/remove/migrate). Samplers key
+	// slice-indexed per-domain state on it: while the epoch is unchanged,
+	// EachVM reports the same domains in the same order, so a cached index
+	// stays valid and per-id lookups can be skipped entirely.
+	epoch uint64
+
+	// quiescent records that the last fully processed tick found every VM
+	// idle, meaning the grant phase granted nothing and left no trace
+	// beyond the disk's idle jitter draws (see DESIGN.md §5.2). While it
+	// holds and no dirtying event intervenes, the grant phase may be
+	// skipped outright; catchUp replays the elided jitter draws before
+	// the next full tick, keeping results bit-for-bit identical. Any
+	// mutation that could change a tick's outcome (workload attach,
+	// placement change, cap change) clears it via MarkDirty, forcing one
+	// full re-evaluation.
+	quiescent bool
+
+	// skipped counts grant-phase ticks elided while quiescent; skipIDs
+	// snapshots the VM ids present during those ticks (placement changes
+	// dirty the server, so the set is constant across a skipped stretch
+	// even if it changes before the server next processes a full tick).
+	skipped int
+	skipIDs []string
+
 	// Per-tick scratch buffers, reused across ticks so the steady-state
 	// resource pipeline allocates nothing. They are owned exclusively by
 	// the goroutine ticking this server (servers never share scratch).
@@ -185,6 +212,29 @@ type Server struct {
 
 // Cache returns the server's page-cache model.
 func (s *Server) Cache() *ContentCache { return s.cache }
+
+// PlacementEpoch returns a counter that increments whenever the server's
+// VM list changes (add, remove, migrate in or out). Samplers cache
+// placement-ordered per-domain state and revalidate it only when the
+// epoch moves.
+func (s *Server) PlacementEpoch() uint64 { return s.epoch }
+
+// Quiescent reports whether the server's last processed tick was a
+// no-op (every VM idle) and no dirtying event has occurred since — i.e.
+// whether the grant phase is currently being skipped.
+func (s *Server) Quiescent() bool { return s.quiescent }
+
+// MarkDirty clears the server's quiescent state, forcing the next tick to
+// run the full grant phase. Actuators outside the cluster package (the
+// hypervisor's cap setters) call it when they change state that the
+// pipeline consumes; placement and workload changes call it internally.
+func (s *Server) MarkDirty() { s.quiescent = false }
+
+// bumpEpoch records a placement change and re-dirties the pipeline.
+func (s *Server) bumpEpoch() {
+	s.epoch++
+	s.quiescent = false
+}
 
 // ID returns the server's identifier.
 func (s *Server) ID() string { return s.id }
@@ -232,11 +282,39 @@ func (s *Server) FindVM(id string) *VM {
 // grant phase of different servers concurrently. Workload.Advance — which
 // may mutate state shared across servers, such as a framework's task set —
 // is deferred to advancePhase.
-func (s *Server) grantPhase(tickSec float64) {
+func (s *Server) grantPhase(tickSec float64, quiesce bool) {
 	n := len(s.vms)
 	if n == 0 {
 		return
 	}
+	// Quiescence fast path: when every VM is idle the full pipeline below
+	// grants nothing — zero demands produce zero grants and cgroup
+	// counters accumulate zeros. Its only lasting effect is the disk's
+	// per-client idle jitter draws, which catchUp can replay later. The
+	// first idle tick still runs the pipeline (it zeroes lastGrant and
+	// settles the models' keep/GC state); every subsequent idle tick is
+	// skipped until a workload wakes up or MarkDirty reports an external
+	// change. Skipping is bit-for-bit invisible: enabling or disabling it
+	// cannot change any simulation output (see DESIGN.md §5.2 and
+	// TestQuiescenceMatchesFullPipeline).
+	idle := true
+	for _, v := range s.vms {
+		if !v.Idle() {
+			idle = false
+			break
+		}
+	}
+	if idle && s.quiescent && quiesce {
+		if s.skipped == 0 {
+			s.skipIDs = s.skipIDs[:0]
+			for _, v := range s.vms {
+				s.skipIDs = append(s.skipIDs, v.id)
+			}
+		}
+		s.skipped++
+		return
+	}
+	s.catchUp()
 	s.demands = s.demands[:0]
 	for _, v := range s.vms {
 		var d Demand
@@ -303,6 +381,22 @@ func (s *Server) grantPhase(tickSec float64) {
 		v.cg.AddPerf(s.memResults[i].Cycles, s.memResults[i].Instructions,
 			s.memResults[i].LLCRefs, s.memResults[i].LLCMisses)
 	}
+
+	// A fully processed all-idle tick proves the next one is skippable.
+	s.quiescent = idle
+}
+
+// catchUp replays the random draws of any skipped idle ticks before a
+// full grant phase runs, so the disk's seeded stream sits exactly where
+// a non-skipping run would have left it. It uses the VM set snapshotted
+// when the skipped stretch began: placement changes dirty the server and
+// end the stretch, so the snapshot is the set present throughout it.
+func (s *Server) catchUp() {
+	if s.skipped == 0 {
+		return
+	}
+	s.disk.AdvanceIdle(s.skipped, s.skipIDs)
+	s.skipped = 0
 }
 
 // advancePhase hands every VM its granted resources. Run sequentially in
@@ -328,6 +422,10 @@ type Cluster struct {
 	// workers bounds the goroutines used for the parallel grant phase:
 	// 1 forces the sequential mode, 0 defers to the package default.
 	workers int
+
+	// quiesce selects the quiescence fast path for this cluster:
+	// 0 defers to the package default, 1 forces it on, 2 forces it off.
+	quiesce int8
 }
 
 // defaultTickWorkers is the package-wide worker default for clusters that
@@ -344,6 +442,21 @@ func SetDefaultTickWorkers(n int) int {
 		n = 0
 	}
 	return int(defaultTickWorkers.Swap(int64(n)))
+}
+
+// defaultQuiescenceOff disables the quiescence fast path package-wide
+// when set; the zero value (enabled) is the normal operating mode. It is
+// atomic so tests can flip modes without racing live clusters.
+var defaultQuiescenceOff atomic.Bool
+
+// SetDefaultQuiescence toggles the package-wide default for the
+// quiescence fast path (skipping the grant phase of servers whose VMs
+// are all idle) and returns the previous setting. The fast path is
+// enabled by default; both settings produce bit-for-bit identical
+// simulations — the toggle exists so tests can prove exactly that.
+// Per-cluster SetQuiescence overrides it.
+func SetDefaultQuiescence(enabled bool) bool {
+	return !defaultQuiescenceOff.Swap(!enabled)
 }
 
 // New creates an empty cluster.
@@ -369,6 +482,28 @@ func (c *Cluster) TickWorkers() int {
 		w = int(defaultTickWorkers.Load())
 	}
 	return sim.Workers(w)
+}
+
+// SetQuiescence overrides the package-wide quiescence default for this
+// cluster (see SetDefaultQuiescence).
+func (c *Cluster) SetQuiescence(enabled bool) {
+	if enabled {
+		c.quiesce = 1
+	} else {
+		c.quiesce = 2
+	}
+}
+
+// QuiescenceEnabled returns the effective quiescence setting for this
+// cluster's tick.
+func (c *Cluster) QuiescenceEnabled() bool {
+	switch c.quiesce {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	return !defaultQuiescenceOff.Load()
 }
 
 // AddServer creates a server with the given id and configuration.
@@ -404,6 +539,7 @@ func (c *Cluster) AddVM(server *Server, id string, vcpus, memBytes float64, prio
 		server:   server,
 	}
 	server.vms = append(server.vms, v)
+	server.bumpEpoch()
 	c.vmsByID[id] = v
 	return v
 }
@@ -433,6 +569,8 @@ func (c *Cluster) MoveVM(vmID, serverID string) error {
 	}
 	dst.vms = append(dst.vms, v)
 	v.server = dst
+	src.bumpEpoch()
+	dst.bumpEpoch()
 	return nil
 }
 
@@ -452,6 +590,7 @@ func (c *Cluster) RemoveVM(id string) {
 			break
 		}
 	}
+	srv.bumpEpoch()
 }
 
 // Servers returns all servers in creation order.
@@ -519,8 +658,9 @@ func (c *Cluster) EachAppVM(appID string, fn func(*VM)) {
 // cloned attempts of one task run on several machines).
 func (c *Cluster) Tick(clk *sim.Clock) {
 	tickSec := clk.TickSeconds()
+	quiesce := c.QuiescenceEnabled()
 	sim.ForEachParallel(len(c.servers), c.TickWorkers(), func(i int) {
-		c.servers[i].grantPhase(tickSec)
+		c.servers[i].grantPhase(tickSec, quiesce)
 	})
 	for _, s := range c.servers {
 		s.advancePhase(tickSec)

@@ -14,18 +14,44 @@ import (
 // antagonist. Missing suspect measurements (idle intervals) are treated
 // as zero, per the paper's rule, so similarity is never inferred from a
 // handful of present samples.
+//
+// Identification runs every control interval, so the Pearson
+// coefficients are maintained incrementally: each suspect carries two
+// RollingPearson accumulators (victim deviation vs suspect signal) that
+// absorb one pair per Record, making Correlations O(suspects) instead of
+// O(suspects × window) with per-call window materialisation. The full
+// per-suspect time series are still recorded — they feed the paper's
+// timeline figures and offline analysis, not the hot loop.
 type Correlator struct {
 	window    int
 	threshold float64
+	intervals int // Record calls so far == length of every series
 
 	victimIO  *stats.TimeSeries
 	victimCPI *stats.TimeSeries
-	suspects  map[string]*suspectSeries
+
+	// Trailing window of the victim signals, kept to backfill the rolling
+	// state of suspects that appear mid-run (their series are zero for
+	// every interval before arrival).
+	vioWin  *stats.RollingWindow
+	vcpiWin *stats.RollingWindow
+
+	suspects map[string]*suspectSeries
+	gen      uint64 // bumped each Record; stale suspects are evicted
+
+	backfill []float64     // reused scratch for vioWin/vcpiWin values
+	corrs    []Correlation // reused output of Correlations
+	corrAt   int           // intervals count when corrs was computed
 }
 
 type suspectSeries struct {
 	io  *stats.TimeSeries // I/O throughput, bytes/sec
 	llc *stats.TimeSeries // LLC miss rate, misses/sec (NaN = missing)
+
+	rio  *stats.RollingPearson // victim iowait dev × suspect I/O
+	rcpu *stats.RollingPearson // victim CPI dev × suspect LLC misses
+
+	gen uint64 // last Record generation that listed this suspect
 }
 
 // NewCorrelator creates a correlator. window is the number of recent
@@ -40,6 +66,8 @@ func NewCorrelator(window int, threshold float64) *Correlator {
 		threshold: threshold,
 		victimIO:  stats.NewTimeSeries(),
 		victimCPI: stats.NewTimeSeries(),
+		vioWin:    stats.NewRollingWindow(window),
+		vcpiWin:   stats.NewRollingWindow(window),
 		suspects:  make(map[string]*suspectSeries),
 	}
 }
@@ -49,34 +77,65 @@ func NewCorrelator(window int, threshold float64) *Correlator {
 func (c *Correlator) Record(nowSec float64, det Detection, s Sample, suspectIDs []string) {
 	c.victimIO.Append(nowSec, det.IowaitDev)
 	c.victimCPI.Append(nowSec, det.CPIDev)
-	seen := make(map[string]bool, len(suspectIDs))
+	c.vioWin.Push(det.IowaitDev)
+	c.vcpiWin.Push(det.CPIDev)
+	c.intervals++
+	c.gen++
 	for _, id := range suspectIDs {
-		seen[id] = true
 		ss, ok := c.suspects[id]
 		if !ok {
-			ss = &suspectSeries{io: stats.NewTimeSeries(), llc: stats.NewTimeSeries()}
+			ss = c.newSuspect(nowSec)
 			c.suspects[id] = ss
-			// Backfill zeros so all series stay aligned with the victim's.
-			for ss.io.Len() < c.victimIO.Len()-1 {
-				ss.io.Append(nowSec, 0)
-				ss.llc.AppendMissing(nowSec)
-			}
 		}
-		vs, present := s.VMs[id]
+		ss.gen = c.gen
+		vs, present := s.Get(id)
 		if !present {
 			ss.io.Append(nowSec, 0)
 			ss.llc.AppendMissing(nowSec)
+			ss.rio.Push(det.IowaitDev, 0)
+			ss.rcpu.Push(det.CPIDev, 0)
 			continue
 		}
 		ss.io.Append(nowSec, vs.IOThroughputBps)
 		ss.llc.Append(nowSec, vs.LLCMissRate) // NaN when the VM was idle
+		ss.rio.Push(det.IowaitDev, vs.IOThroughputBps)
+		ss.rcpu.Push(det.CPIDev, vs.LLCMissRate)
 	}
 	// Suspects that left the server stop accumulating; drop their state.
-	for id := range c.suspects {
-		if !seen[id] {
+	for id, ss := range c.suspects {
+		if ss.gen != c.gen {
 			delete(c.suspects, id)
 		}
 	}
+}
+
+// newSuspect builds the series for a suspect first seen this interval,
+// backfilled with zeros so it stays aligned with the victim's history:
+// the full time series all the way back, the rolling correlations over
+// the trailing window only (older pairs would have been evicted anyway).
+// The victim windows already contain this interval's values, so the
+// current pair — which depends on the sample — is excluded and pushed by
+// the caller.
+func (c *Correlator) newSuspect(nowSec float64) *suspectSeries {
+	ss := &suspectSeries{
+		io:   stats.NewTimeSeries(),
+		llc:  stats.NewTimeSeries(),
+		rio:  stats.NewRollingPearson(c.window),
+		rcpu: stats.NewRollingPearson(c.window),
+	}
+	for ss.io.Len() < c.victimIO.Len()-1 {
+		ss.io.Append(nowSec, 0)
+		ss.llc.AppendMissing(nowSec)
+	}
+	c.backfill = c.vioWin.Values(c.backfill[:0])
+	for _, v := range c.backfill[:len(c.backfill)-1] {
+		ss.rio.Push(v, 0)
+	}
+	c.backfill = c.vcpiWin.Values(c.backfill[:0])
+	for _, v := range c.backfill[:len(c.backfill)-1] {
+		ss.rcpu.Push(v, 0)
+	}
+	return ss
 }
 
 // Correlation holds one suspect's Pearson coefficients against the
@@ -89,23 +148,29 @@ type Correlation struct {
 
 // Correlations returns each suspect's coefficients over the trailing
 // window, sorted by VM id. Suspects with insufficient history are
-// omitted.
+// omitted. The result is computed once per interval and the backing
+// slice is reused, so it is only valid until the next Record call —
+// identification consumes it immediately, so nothing in the control
+// loop retains it.
 func (c *Correlator) Correlations() []Correlation {
-	var out []Correlation
+	if c.intervals < c.window {
+		return nil
+	}
+	if c.corrAt == c.intervals {
+		return c.corrs
+	}
+	c.corrs = c.corrs[:0]
 	for id, ss := range c.suspects {
-		w, ok := stats.AlignedWindows(c.window, c.victimIO, c.victimCPI, ss.io, ss.llc)
-		if !ok {
-			continue
-		}
-		rio, err1 := stats.PearsonMissingAsZero(w[0], w[2])
-		rcpu, err2 := stats.PearsonMissingAsZero(w[1], w[3])
+		rio, err1 := ss.rio.Corr()
+		rcpu, err2 := ss.rcpu.Corr()
 		if err1 != nil || err2 != nil {
 			continue
 		}
-		out = append(out, Correlation{VMID: id, IO: rio, CPU: rcpu})
+		c.corrs = append(c.corrs, Correlation{VMID: id, IO: rio, CPU: rcpu})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].VMID < out[j].VMID })
-	return out
+	sort.Slice(c.corrs, func(i, j int) bool { return c.corrs[i].VMID < c.corrs[j].VMID })
+	c.corrAt = c.intervals
+	return c.corrs
 }
 
 // IOAntagonists returns suspects whose I/O correlation meets the

@@ -13,13 +13,13 @@ func record(c *Correlator, n int, dev func(i int) float64, suspects map[string]f
 		ids = append(ids, id)
 	}
 	for i := 0; i < n; i++ {
-		s := Sample{TimeSec: float64(i * 5), VMs: map[string]VMSample{}}
+		vms := make(map[string]VMSample, len(suspects))
 		for id, gen := range suspects {
 			io, llc := gen(i)
-			s.VMs[id] = VMSample{IOThroughputBps: io, LLCMissRate: llc}
+			vms[id] = VMSample{IOThroughputBps: io, LLCMissRate: llc}
 		}
 		det := Detection{IowaitDev: dev(i), CPIDev: dev(i)}
-		c.Record(float64(i*5), det, s, ids)
+		c.Record(float64(i*5), det, MakeSample(float64(i*5), vms), ids)
 	}
 }
 
@@ -101,13 +101,13 @@ func TestLateArrivingSuspectBackfilled(t *testing.T) {
 	c := NewCorrelator(4, 0.8)
 	// Two intervals without the suspect, then it appears and correlates.
 	for i := 0; i < 2; i++ {
-		c.Record(float64(i*5), Detection{IowaitDev: 1, CPIDev: 0}, Sample{VMs: map[string]VMSample{}}, nil)
+		c.Record(float64(i*5), Detection{IowaitDev: 1, CPIDev: 0}, MakeSample(float64(i*5), nil), nil)
 	}
 	for i := 2; i < 8; i++ {
 		v := float64(i % 2)
-		s := Sample{VMs: map[string]VMSample{
+		s := MakeSample(float64(i*5), map[string]VMSample{
 			"late": {IOThroughputBps: 1e7 * v, LLCMissRate: math.NaN()},
-		}}
+		})
 		c.Record(float64(i*5), Detection{IowaitDev: 30*v + 1}, s, []string{"late"})
 	}
 	if ants := c.IOAntagonists(); len(ants) != 1 {
@@ -122,7 +122,7 @@ func TestDepartedSuspectDropped(t *testing.T) {
 			"x": func(i int) (float64, float64) { return float64(i % 2), math.NaN() },
 		})
 	// Now record intervals without x in the suspect list.
-	c.Record(100, Detection{}, Sample{VMs: map[string]VMSample{}}, nil)
+	c.Record(100, Detection{}, MakeSample(100, nil), nil)
 	if len(c.suspects) != 0 {
 		t.Error("departed suspect should be dropped")
 	}
@@ -150,7 +150,7 @@ func TestCorrelatorPanicsOnTinyWindow(t *testing.T) {
 
 func TestVictimSeriesExposed(t *testing.T) {
 	c := NewCorrelator(3, 0.8)
-	c.Record(0, Detection{IowaitDev: 7, CPIDev: 3}, Sample{VMs: map[string]VMSample{}}, nil)
+	c.Record(0, Detection{IowaitDev: 7, CPIDev: 3}, MakeSample(0, nil), nil)
 	if c.VictimIOSeries().Last().Value != 7 || c.VictimCPISeries().Last().Value != 3 {
 		t.Error("victim series not recorded")
 	}

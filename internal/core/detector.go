@@ -45,24 +45,26 @@ func (d Detection) Contention() bool { return d.IOContention || d.CPUContention 
 // active workers are comparable — while a worker idle between task waves
 // carries no signal and would otherwise fake a deviation.
 func Detect(s Sample, appVMs []string, th Thresholds) Detection {
-	var ratios, cpis []float64
+	// One-pass Welford moments instead of collected slices: Detect runs in
+	// the monitoring hot loop, once per high-priority app per interval.
+	var ratios, cpis stats.Moments
 	for _, id := range appVMs {
-		vs, ok := s.VMs[id]
+		vs, ok := s.Get(id)
 		if !ok {
 			continue
 		}
 		if vs.IOActive {
-			ratios = append(ratios, vs.IowaitRatio)
+			ratios.Add(vs.IowaitRatio)
 		}
 		if !math.IsNaN(vs.CPI) {
-			cpis = append(cpis, vs.CPI)
+			cpis.Add(vs.CPI)
 		}
 	}
 	d := Detection{
-		IowaitDev:  stats.StdDev(ratios),
-		CPIDev:     stats.StdDev(cpis),
-		MeanIowait: stats.Mean(ratios),
-		MeanCPI:    stats.Mean(cpis),
+		IowaitDev:  ratios.StdDev(),
+		CPIDev:     cpis.StdDev(),
+		MeanIowait: ratios.Mean(),
+		MeanCPI:    cpis.Mean(),
 	}
 	d.IOContention = d.IowaitDev > th.Iowait
 	d.CPUContention = d.CPIDev > th.CPI

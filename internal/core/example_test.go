@@ -27,11 +27,11 @@ func ExampleCubic() {
 // differently for the disk while a third is idle — classic external
 // interference.
 func ExampleDetect() {
-	s := core.Sample{VMs: map[string]core.VMSample{
+	s := core.MakeSample(0, map[string]core.VMSample{
 		"worker-0": {IOActive: true, IowaitRatio: 80, CPI: 1.1},
 		"worker-1": {IOActive: true, IowaitRatio: 8, CPI: 1.2},
 		"worker-2": {IOActive: false},
-	}}
+	})
 	d := core.Detect(s, []string{"worker-0", "worker-1", "worker-2"}, core.DefaultThresholds())
 	fmt.Printf("iowait deviation %.0f ms/op, I/O contention: %v\n", d.IowaitDev, d.IOContention)
 	// Output: iowait deviation 36 ms/op, I/O contention: true

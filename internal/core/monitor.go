@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"perfcloud/internal/cgroup"
 	"perfcloud/internal/hypervisor"
@@ -33,76 +34,183 @@ type VMSample struct {
 	CPUUsageCores float64
 }
 
-// Sample is one monitoring interval across all domains of a server.
+// Sample is one monitoring interval across all domains of a server. The
+// backing storage belongs to the Monitor that produced it and is reused:
+// a Sample is valid until the Monitor's next Sample call. Consumers that
+// need to keep per-VM measurements across intervals copy the VMSample
+// values they care about (they are small value types).
 type Sample struct {
 	TimeSec float64
-	VMs     map[string]VMSample
+
+	ids  []string
+	vms  []VMSample
+	byID map[string]int
+}
+
+// MakeSample builds a Sample from a map of per-VM measurements, with
+// domains in sorted-id order — for tests, examples and offline tooling.
+// The Monitor's hot path builds samples directly in placement order.
+func MakeSample(nowSec float64, vms map[string]VMSample) Sample {
+	s := Sample{TimeSec: nowSec, byID: make(map[string]int, len(vms))}
+	for id := range vms {
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+	s.vms = make([]VMSample, len(s.ids))
+	for i, id := range s.ids {
+		s.vms[i] = vms[id]
+		s.byID[id] = i
+	}
+	return s
+}
+
+// Len returns the number of domains measured this interval.
+func (s Sample) Len() int { return len(s.ids) }
+
+// Get returns the measurement for one domain, reporting whether the
+// domain was measured this interval.
+func (s Sample) Get(id string) (VMSample, bool) {
+	i, ok := s.byID[id]
+	if !ok {
+		return VMSample{}, false
+	}
+	return s.vms[i], true
+}
+
+// Each calls fn for every measured domain in placement order.
+func (s Sample) Each(fn func(id string, vs VMSample)) {
+	for i, id := range s.ids {
+		fn(id, s.vms[i])
+	}
+}
+
+// domainState is the Monitor's per-domain accumulator: the previous
+// counter snapshot, the previous emitted sample, and the five EWMA
+// filters — held by value in a placement-ordered slice so the per-
+// interval pass is a linear walk with no map lookups or per-filter heap
+// objects.
+type domainState struct {
+	id      string
+	prev    cgroup.Counters
+	hasPrev bool
+	last    VMSample
+	hasLast bool
+
+	ewmaIowait stats.EWMA
+	ewmaCPI    stats.EWMA
+	ewmaLLC    stats.EWMA
+	ewmaIOBps  stats.EWMA
+	ewmaIOPS   stats.EWMA
 }
 
 // Monitor periodically reads every domain's cumulative counters through
 // the hypervisor, computes interval deltas and applies EWMA smoothing.
+// Per-domain state is kept in placement order and revalidated only when
+// the server's placement epoch moves, so a steady-state interval is one
+// linear pass over the domains with no allocation.
 type Monitor struct {
 	hv    *hypervisor.Hypervisor
 	alpha float64
 
-	prev       map[string]cgroup.Counters
-	ewmaIowait map[string]*stats.EWMA
-	ewmaCPI    map[string]*stats.EWMA
-	ewmaLLC    map[string]*stats.EWMA
-	ewmaIOBps  map[string]*stats.EWMA
-	ewmaIOPS   map[string]*stats.EWMA
+	epoch   uint64
+	epochOK bool
+	domains []domainState
+	index   map[string]int // id -> slot in domains
 
-	seen map[string]bool // reused per-Sample scratch
+	// Reused output buffers backing the returned Sample.
+	outIDs  []string
+	outVMs  []VMSample
+	outByID map[string]int
+	scratch []domainState
 }
 
 // NewMonitor creates a monitor over one server's hypervisor. alpha is
 // the EWMA smoothing factor for the detection signals.
 func NewMonitor(hv *hypervisor.Hypervisor, alpha float64) *Monitor {
 	return &Monitor{
-		hv:         hv,
-		alpha:      alpha,
-		prev:       make(map[string]cgroup.Counters),
-		ewmaIowait: make(map[string]*stats.EWMA),
-		ewmaCPI:    make(map[string]*stats.EWMA),
-		ewmaLLC:    make(map[string]*stats.EWMA),
-		ewmaIOBps:  make(map[string]*stats.EWMA),
-		ewmaIOPS:   make(map[string]*stats.EWMA),
+		hv:      hv,
+		alpha:   alpha,
+		index:   make(map[string]int),
+		outByID: make(map[string]int),
 	}
 }
 
+// realign rebuilds the placement-ordered domain slice when the server's
+// placement epoch has moved (VM added, removed or migrated), carrying
+// over state for surviving domains and dropping state for departed ones.
+// While the epoch is unchanged this is a single comparison.
+func (m *Monitor) realign() {
+	epoch := m.hv.PlacementEpoch()
+	if m.epochOK && epoch == m.epoch {
+		return
+	}
+	next := m.scratch[:0]
+	m.hv.EachDomainStats(func(id string, _ cgroup.Counters) {
+		if j, ok := m.index[id]; ok {
+			next = append(next, m.domains[j])
+		} else {
+			next = append(next, domainState{
+				id:         id,
+				ewmaIowait: stats.MakeEWMA(m.alpha),
+				ewmaCPI:    stats.MakeEWMA(m.alpha),
+				ewmaLLC:    stats.MakeEWMA(m.alpha),
+				ewmaIOBps:  stats.MakeEWMA(m.alpha),
+				ewmaIOPS:   stats.MakeEWMA(m.alpha),
+			})
+		}
+	})
+	m.scratch = m.domains[:0]
+	m.domains = next
+	clear(m.index)
+	for i := range m.domains {
+		m.index[m.domains[i].id] = i
+	}
+	m.epoch, m.epochOK = epoch, true
+}
+
 // Sample reads all domains, returning per-VM interval measurements.
-// intervalSec is the elapsed time since the previous call.
+// intervalSec is the elapsed time since the previous call. A call with
+// intervalSec <= 0 carries no new information (no time has passed), so
+// it replays each domain's previous measurements without disturbing the
+// counter baselines or EWMA filters — the next positive interval still
+// computes its delta over the full elapsed time.
 func (m *Monitor) Sample(nowSec, intervalSec float64) Sample {
-	out := Sample{TimeSec: nowSec, VMs: make(map[string]VMSample)}
+	m.realign()
+	m.outIDs = m.outIDs[:0]
+	m.outVMs = m.outVMs[:0]
+	clear(m.outByID)
 	if intervalSec <= 0 {
-		intervalSec = 1
+		for i := range m.domains {
+			d := &m.domains[i]
+			if d.hasLast {
+				m.emit(d.id, d.last)
+			}
+		}
+		return m.sample(nowSec)
 	}
-	if m.seen == nil {
-		m.seen = make(map[string]bool)
-	}
-	clear(m.seen)
-	seen := m.seen
-	// A single pass over the hypervisor's domains in placement order — the
-	// same order ListDomains reports — without the per-id domain lookup.
+	i := 0
 	m.hv.EachDomainStats(func(id string, now cgroup.Counters) {
-		seen[id] = true
-		prev, had := m.prev[id]
-		m.prev[id] = now
+		// realign just ran under the same epoch, so the i'th domain
+		// reported here is the i'th entry of m.domains.
+		d := &m.domains[i]
+		i++
+		prevCounters, had := d.prev, d.hasPrev
+		d.prev, d.hasPrev = now, true
 		if !had {
 			// First observation of this domain: no delta yet.
 			return
 		}
-		d := cgroup.Delta(now, prev)
+		delta := cgroup.Delta(now, prevCounters)
 		vs := VMSample{
-			IOActive:        d.Blkio.IoServiced > 0,
-			IOPS:            m.smooth(m.ewmaIOPS, id, d.Blkio.IoServiced/intervalSec),
-			IOThroughputBps: m.smooth(m.ewmaIOBps, id, d.Blkio.IoServiceBytes/intervalSec),
-			CPUUsageCores:   d.CPU.UsageSeconds / intervalSec,
+			IOActive:        delta.Blkio.IoServiced > 0,
+			IOPS:            d.ewmaIOPS.Update(delta.Blkio.IoServiced / intervalSec),
+			IOThroughputBps: d.ewmaIOBps.Update(delta.Blkio.IoServiceBytes / intervalSec),
+			CPUUsageCores:   delta.CPU.UsageSeconds / intervalSec,
 		}
-		vs.IowaitRatio = m.smooth(m.ewmaIowait, id, d.IowaitRatio())
-		if d.Perf.Instructions > 0 {
-			vs.CPI = m.smooth(m.ewmaCPI, id, d.Perf.Cycles/d.Perf.Instructions)
-			vs.LLCMissRate = m.smooth(m.ewmaLLC, id, d.Perf.LLCMisses/intervalSec)
+		vs.IowaitRatio = d.ewmaIowait.Update(delta.IowaitRatio())
+		if delta.Perf.Instructions > 0 {
+			vs.CPI = d.ewmaCPI.Update(delta.Perf.Cycles / delta.Perf.Instructions)
+			vs.LLCMissRate = d.ewmaLLC.Update(delta.Perf.LLCMisses / intervalSec)
 		} else {
 			// No instructions retired: CPI does not exist for this
 			// interval. The LLC-miss signal instead decays through the
@@ -111,34 +219,26 @@ func (m *Monitor) Sample(nowSec, intervalSec float64) Sample {
 			// measurement (NaN) until the VM has ever run, which is what
 			// the paper's missing-as-zero Pearson rule handles.
 			vs.CPI = math.NaN()
-			if e, ok := m.ewmaLLC[id]; ok && e.Primed() {
-				vs.LLCMissRate = e.Update(0)
+			if d.ewmaLLC.Primed() {
+				vs.LLCMissRate = d.ewmaLLC.Update(0)
 			} else {
 				vs.LLCMissRate = math.NaN()
 			}
 		}
-		out.VMs[id] = vs
+		d.last, d.hasLast = vs, true
+		m.emit(id, vs)
 	})
-	// Drop state for domains that disappeared (terminated or migrated).
-	for id := range m.prev {
-		if !seen[id] {
-			delete(m.prev, id)
-			delete(m.ewmaIowait, id)
-			delete(m.ewmaCPI, id)
-			delete(m.ewmaLLC, id)
-			delete(m.ewmaIOBps, id)
-			delete(m.ewmaIOPS, id)
-		}
-	}
-	return out
+	return m.sample(nowSec)
 }
 
-// smooth folds a raw interval value into the named VM's EWMA.
-func (m *Monitor) smooth(set map[string]*stats.EWMA, id string, v float64) float64 {
-	e, ok := set[id]
-	if !ok {
-		e = stats.NewEWMA(m.alpha)
-		set[id] = e
-	}
-	return e.Update(v)
+// emit appends one domain's measurement to the reused output buffers.
+func (m *Monitor) emit(id string, vs VMSample) {
+	m.outByID[id] = len(m.outIDs)
+	m.outIDs = append(m.outIDs, id)
+	m.outVMs = append(m.outVMs, vs)
+}
+
+// sample wraps the output buffers as this interval's Sample.
+func (m *Monitor) sample(nowSec float64) Sample {
+	return Sample{TimeSec: nowSec, ids: m.outIDs, vms: m.outVMs, byID: m.outByID}
 }

@@ -23,8 +23,8 @@ func monitorFixture(t *testing.T) (*cluster.Cluster, *cluster.Server, *Monitor) 
 func TestMonitorFirstSampleHasNoDeltas(t *testing.T) {
 	_, _, m := monitorFixture(t)
 	s := m.Sample(0, 5)
-	if len(s.VMs) != 0 {
-		t.Errorf("first sample should be empty, got %v", s.VMs)
+	if s.Len() != 0 {
+		t.Errorf("first sample should be empty, got %d domains", s.Len())
 	}
 }
 
@@ -36,7 +36,7 @@ func TestMonitorDeltasAndRates(t *testing.T) {
 	a.AddCPU(5)                     // 1 core
 	a.AddPerf(2e9, 1e9, 1e7, 5e6)   // CPI 2
 	s := m.Sample(5, 5)
-	vs, ok := s.VMs["vm-a"]
+	vs, ok := s.Get("vm-a")
 	if !ok {
 		t.Fatal("vm-a missing")
 	}
@@ -60,7 +60,7 @@ func TestMonitorMissingValuesWhenIdle(t *testing.T) {
 	// vm-b stays completely idle.
 	cl.FindVM("vm-a").Cgroup().AddCPU(1)
 	s := m.Sample(5, 5)
-	vs := s.VMs["vm-b"]
+	vs, _ := s.Get("vm-b")
 	if !math.IsNaN(vs.CPI) || !math.IsNaN(vs.LLCMissRate) {
 		t.Errorf("idle VM should have missing CPI/LLC: %+v", vs)
 	}
@@ -75,13 +75,15 @@ func TestMonitorEWMASmoothing(t *testing.T) {
 	a := cl.FindVM("vm-a").Cgroup()
 	a.AddBlkio(100, 0, 1000) // 10 ms/op
 	s1 := m.Sample(5, 5)
+	// A Sample is valid until the next Sample call: copy what we assert on.
+	v1, _ := s1.Get("vm-a")
 	a.AddBlkio(100, 0, 0) // 0 ms/op raw
 	s2 := m.Sample(10, 5)
-	if s1.VMs["vm-a"].IowaitRatio != 10 {
-		t.Errorf("first ratio = %v", s1.VMs["vm-a"].IowaitRatio)
+	if v1.IowaitRatio != 10 {
+		t.Errorf("first ratio = %v", v1.IowaitRatio)
 	}
-	if got := s2.VMs["vm-a"].IowaitRatio; got != 5 { // 0.5*0 + 0.5*10
-		t.Errorf("smoothed ratio = %v, want 5", got)
+	if v2, _ := s2.Get("vm-a"); v2.IowaitRatio != 5 { // 0.5*0 + 0.5*10
+		t.Errorf("smoothed ratio = %v, want 5", v2.IowaitRatio)
 	}
 }
 
@@ -90,21 +92,55 @@ func TestMonitorForgetsRemovedDomains(t *testing.T) {
 	m.Sample(0, 5)
 	cl.RemoveVM("vm-b")
 	s := m.Sample(5, 5)
-	if _, ok := s.VMs["vm-b"]; ok {
+	if _, ok := s.Get("vm-b"); ok {
 		t.Error("removed VM should not be sampled")
 	}
-	if len(m.prev) != 1 {
-		t.Errorf("prev map = %d entries, want 1", len(m.prev))
+	if len(m.domains) != 1 || len(m.index) != 1 {
+		t.Errorf("domain state = %d/%d entries, want 1/1", len(m.domains), len(m.index))
+	}
+}
+
+func TestMonitorZeroIntervalReplaysPreviousRates(t *testing.T) {
+	cl, _, m := monitorFixture(t)
+	m.Sample(0, 5) // prime
+	a := cl.FindVM("vm-a").Cgroup()
+	a.AddBlkio(500, 500*4096, 1000)
+	a.AddCPU(5)
+	s1 := m.Sample(5, 5)
+	v1, _ := s1.Get("vm-a")
+	if v1.IOPS != 100 || v1.CPUUsageCores != 1 {
+		t.Fatalf("setup sample = %+v", v1)
+	}
+	// More counters accumulate but no time passes. The monitor must not
+	// fabricate rates from a zero-length interval (it used to divide by a
+	// silently substituted 1 s): it replays the previous measurements and
+	// leaves the counter baselines and EWMA filters untouched.
+	a.AddBlkio(500, 500*4096, 1000)
+	a.AddCPU(5)
+	s2 := m.Sample(5, 0)
+	v2, ok := s2.Get("vm-a")
+	if !ok {
+		t.Fatal("vm-a missing from zero-interval sample")
+	}
+	if v2.IOPS != v1.IOPS || v2.IOThroughputBps != v1.IOThroughputBps ||
+		v2.CPUUsageCores != v1.CPUUsageCores || v2.IowaitRatio != v1.IowaitRatio {
+		t.Errorf("zero interval fabricated rates: %+v, want replay of %+v", v2, v1)
+	}
+	// The next real interval absorbs the counters accumulated across the
+	// zero-length call: 500 ops over 5 s = 100 IOPS raw, EWMA-steady.
+	s3 := m.Sample(10, 5)
+	if v3, _ := s3.Get("vm-a"); v3.IOPS != 100 || v3.CPUUsageCores != 1 {
+		t.Errorf("post-zero-interval sample = %+v", v3)
 	}
 }
 
 func TestDetectActiveOnly(t *testing.T) {
 	th := DefaultThresholds()
-	s := Sample{VMs: map[string]VMSample{
+	s := MakeSample(0, map[string]VMSample{
 		"a": {IOActive: true, IowaitRatio: 50, CPI: 1.5},
 		"b": {IOActive: true, IowaitRatio: 10, CPI: 1.4},
 		"c": {IOActive: false, IowaitRatio: 0, CPI: math.NaN()}, // idle worker
-	}}
+	})
 	d := Detect(s, []string{"a", "b", "c"}, th)
 	// Only a and b count: stddev of {50,10} = 20 > 10.
 	if math.Abs(d.IowaitDev-20) > 1e-9 || !d.IOContention {
@@ -120,7 +156,7 @@ func TestDetectActiveOnly(t *testing.T) {
 }
 
 func TestDetectIgnoresUnknownVMs(t *testing.T) {
-	s := Sample{VMs: map[string]VMSample{}}
+	s := MakeSample(0, nil)
 	d := Detect(s, []string{"ghost1", "ghost2"}, DefaultThresholds())
 	if d.Contention() || d.IowaitDev != 0 || d.CPIDev != 0 {
 		t.Errorf("detection over ghosts = %+v", d)
@@ -128,9 +164,9 @@ func TestDetectIgnoresUnknownVMs(t *testing.T) {
 }
 
 func TestDetectSingleActiveVMNoSignal(t *testing.T) {
-	s := Sample{VMs: map[string]VMSample{
+	s := MakeSample(0, map[string]VMSample{
 		"a": {IOActive: true, IowaitRatio: 500, CPI: 9},
-	}}
+	})
 	d := Detect(s, []string{"a"}, DefaultThresholds())
 	if d.Contention() {
 		t.Error("one VM carries no deviation signal")

@@ -318,14 +318,14 @@ func (nm *NodeManager) controlIO(contention bool, antagonists []string, s Sample
 	// window.
 	if contention {
 		for id := range nm.ioOffenders {
-			if vs, ok := s.VMs[id]; ok && vs.IOPS > 0 {
+			if vs, ok := s.Get(id); ok && vs.IOPS > 0 {
 				antagonists = append(antagonists, id)
 			}
 		}
 	}
 	for _, id := range antagonists {
 		if _, ok := nm.io[id]; !ok {
-			vs := s.VMs[id]
+			vs, _ := s.Get(id)
 			init := vs.IOPS
 			if init <= 0 {
 				continue // nothing observed to base a cap on yet
@@ -360,14 +360,14 @@ func (nm *NodeManager) controlCPU(contention bool, antagonists []string, s Sampl
 	}
 	if contention {
 		for id := range nm.cpuOffenders {
-			if vs, ok := s.VMs[id]; ok && vs.CPUUsageCores > 0 {
+			if vs, ok := s.Get(id); ok && vs.CPUUsageCores > 0 {
 				antagonists = append(antagonists, id)
 			}
 		}
 	}
 	for _, id := range antagonists {
 		if _, ok := nm.cpu[id]; !ok {
-			vs := s.VMs[id]
+			vs, _ := s.Get(id)
 			init := vs.CPUUsageCores
 			if init <= 0 {
 				continue

@@ -47,6 +47,8 @@ type Grant struct {
 type Scheduler struct {
 	cfg Config
 
+	lastQuiescent bool
+
 	// Reused per-Allocate scratch (one scheduler serves one server, ticked
 	// by a single goroutine, so plain fields suffice).
 	clamped []float64
@@ -64,6 +66,11 @@ func New(cfg Config) *Scheduler {
 // Config returns the host CPU configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// Quiescent reports whether the most recent Allocate call carried zero
+// demand (the scheduler is stateless, so a quiescent allocation is a
+// strict no-op beyond the zero grants it returns).
+func (s *Scheduler) Quiescent() bool { return s.lastQuiescent }
+
 // Allocate grants core-seconds for one tick. Per-client demand is first
 // clamped to the VM's vcpus and its hard cap; remaining contention for
 // physical cores is resolved max-min fairly.
@@ -79,6 +86,7 @@ func (s *Scheduler) AllocateInto(dst []Grant, tickSec float64, reqs []Request) [
 		panic("cpu: nonpositive tick")
 	}
 	s.clamped = s.clamped[:0]
+	var anyDemand bool
 	for _, r := range reqs {
 		if r.Seconds < 0 {
 			panic(fmt.Sprintf("cpu: negative demand from %s", r.ClientID))
@@ -90,7 +98,16 @@ func (s *Scheduler) AllocateInto(dst []Grant, tickSec float64, reqs []Request) [
 		if r.CapCores > 0 {
 			d = math.Min(d, r.CapCores*tickSec)
 		}
+		anyDemand = anyDemand || d > 0
 		s.clamped = append(s.clamped, d)
+	}
+	s.lastQuiescent = !anyDemand
+	if !anyDemand {
+		// Quiescent fast path: all grants are zero; skip the fair share.
+		for _, r := range reqs {
+			dst = append(dst, Grant{ClientID: r.ClientID})
+		}
+		return dst
 	}
 	shares := s.fair.fill(s.clamped, s.cfg.Cores*tickSec)
 	for i, r := range reqs {

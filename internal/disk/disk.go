@@ -119,6 +119,7 @@ type Disk struct {
 
 	lastUtilization float64
 	lastRandomLoad  float64
+	lastQuiescent   bool
 
 	// Reused per-Allocate scratch (one disk serves one server, ticked by a
 	// single goroutine, so plain fields suffice).
@@ -151,6 +152,28 @@ func (d *Disk) Utilization() float64 { return d.lastUtilization }
 // RandomLoad returns the fraction of device time demanded by small-op
 // (random) clients on the most recent Allocate call, clipped at 1.
 func (d *Disk) RandomLoad() float64 { return d.lastRandomLoad }
+
+// Quiescent reports whether the most recent Allocate call carried zero
+// demand. A quiescent allocation grants nothing and leaves all observable
+// device state (utilization, random load) at zero; its only side effect
+// is stepping the per-client AR(1) luck factors, which AdvanceIdle can
+// replay — that is what lets the cluster skip idle servers' grant phases
+// without perturbing determinism.
+func (d *Disk) Quiescent() bool { return d.lastQuiescent }
+
+// AdvanceIdle replays the random draws of n all-idle ticks for the given
+// clients in order, advancing the per-client AR(1) luck factors exactly
+// as n quiescent Allocate calls would. The cluster calls it when a server
+// wakes from a stretch of skipped idle ticks, so skipping and processing
+// idle ticks leave the device's seeded random stream in the identical
+// position (DESIGN.md §5.2).
+func (d *Disk) AdvanceIdle(n int, clientIDs []string) {
+	for t := 0; t < n; t++ {
+		for _, id := range clientIDs {
+			d.jitter.Step(id)
+		}
+	}
+}
 
 // Allocate serves one tick of I/O. tickSec is the tick length in seconds.
 // Grants are returned in the order of the requests.
@@ -199,6 +222,38 @@ func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Gran
 		d.opSize = append(d.opSize, size)
 	}
 	capped, opSize := d.capped, d.opSize
+
+	// Quiescent fast path: nobody wants any ops, so the cost model, fair
+	// share and queueing delay all reduce to zero grants. The per-client
+	// AR(1) luck factors still step exactly as the full path would — the
+	// draws are part of the device's seeded random stream, and a busy tick
+	// after an idle stretch must observe the same stream whether or not
+	// this branch ran. AdvanceIdle replays these draws for ticks the
+	// cluster skipped outright (DESIGN.md §5.2).
+	var anyOps bool
+	for _, c := range capped {
+		if c.Ops > 0 {
+			anyOps = true
+			break
+		}
+	}
+	d.lastQuiescent = !anyOps
+	if !anyOps {
+		d.lastRandomLoad = 0
+		d.lastUtilization = 0
+		if d.keep == nil {
+			d.keep = make(map[string]bool, len(reqs))
+		}
+		clear(d.keep)
+		for i := range reqs {
+			id := reqs[i].ClientID
+			d.keep[id] = true
+			d.jitter.Step(id)
+			dst = append(dst, Grant{ClientID: id})
+		}
+		d.jitter.GC(d.keep)
+		return dst
+	}
 
 	// Phase 2: random load from small-op clients' demanded device time.
 	var randomTime float64

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+)
+
+// setQuiescence forces the quiescence fast path on or off for the
+// duration of a test.
+func setQuiescence(t *testing.T, enabled bool) {
+	t.Helper()
+	prev := cluster.SetDefaultQuiescence(enabled)
+	t.Cleanup(func() { cluster.SetDefaultQuiescence(prev) })
+}
+
+// TestQuiescenceMatchesFullPipeline is the determinism contract of the
+// quiescence fast path: skipping the grant phase of servers whose VMs
+// are all idle must produce results bit-for-bit identical to ticking
+// every server every tick. The scenarios below all contain idle
+// stretches — servers waiting for task waves, antagonists between
+// bursts, finished frameworks draining — so both the skip and the
+// wake-up catch-up paths are exercised.
+func TestQuiescenceMatchesFullPipeline(t *testing.T) {
+	const s = seed
+
+	smallVariability := VariabilityConfig{
+		Seed:             s,
+		Servers:          3,
+		WorkersPerServer: 6,
+		Runs:             3,
+		Fio:              2,
+		Streams:          2,
+		Tasks:            18,
+		Limit:            time.Hour,
+	}
+	mix := smallMix()
+	mix.NumMR, mix.NumSpark = 4, 4
+
+	cases := []struct {
+		name string
+		run  func() any
+	}{
+		{"Fig3", func() any { return Fig3(s) }},
+		{"Fig11", func() any { return Fig11With(mix, []Scheme{SchemeLATE()}) }},
+		{"Fig12", func() any { return Fig12With(smallVariability, []Scheme{SchemeLATE(), SchemePerfCloud()}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setQuiescence(t, false)
+			full := tc.run()
+
+			setQuiescence(t, true)
+			skipping := tc.run()
+
+			if !reflect.DeepEqual(full, skipping) {
+				t.Errorf("quiescence-skipping result differs from full pipeline:\nfull: %+v\nskip: %+v", full, skipping)
+			}
+		})
+	}
+}

@@ -31,6 +31,12 @@ func New(s *cluster.Server) *Hypervisor { return &Hypervisor{server: s} }
 // ServerID returns the id of the wrapped server.
 func (h *Hypervisor) ServerID() string { return h.server.ID() }
 
+// PlacementEpoch returns the server's placement-change counter. While it
+// is unchanged, EachDomainStats reports the same domains in the same
+// order, so samplers may reuse slice-indexed per-domain state instead of
+// re-resolving domain ids every interval.
+func (h *Hypervisor) PlacementEpoch() uint64 { return h.server.PlacementEpoch() }
+
 // ListDomains returns the ids of all VMs on the server.
 func (h *Hypervisor) ListDomains() []string {
 	out := make([]string, 0, h.server.NumVMs())
@@ -77,6 +83,7 @@ func (h *Hypervisor) SetVCPUQuota(id string, cores float64) error {
 		return fmt.Errorf("hypervisor: negative vcpu quota %v for %q", cores, id)
 	}
 	v.Cgroup().SetCPUCores(cores)
+	v.Server().MarkDirty()
 	return nil
 }
 
@@ -90,6 +97,7 @@ func (h *Hypervisor) SetBlkioThrottleIOPS(id string, iops float64) error {
 		return fmt.Errorf("hypervisor: negative iops cap %v for %q", iops, id)
 	}
 	v.Cgroup().SetReadIOPS(iops)
+	v.Server().MarkDirty()
 	return nil
 }
 
@@ -103,6 +111,7 @@ func (h *Hypervisor) SetBlkioThrottleBPS(id string, bps float64) error {
 		return fmt.Errorf("hypervisor: negative bps cap %v for %q", bps, id)
 	}
 	v.Cgroup().SetReadBPS(bps)
+	v.Server().MarkDirty()
 	return nil
 }
 
@@ -122,5 +131,6 @@ func (h *Hypervisor) ClearThrottle(id string) error {
 		return err
 	}
 	v.Cgroup().SetThrottle(cgroup.Throttle{})
+	v.Server().MarkDirty()
 	return nil
 }

@@ -100,7 +100,8 @@ type System struct {
 	cfg    Config
 	jitter *sim.AR1
 
-	lastPressure float64
+	lastPressure  float64
+	lastQuiescent bool
 
 	// Reused per-Compute scratch (one system serves one server, ticked by
 	// a single goroutine, so plain fields suffice).
@@ -125,6 +126,13 @@ func (s *System) Config() Config { return s.cfg }
 // Pressure returns the bandwidth demand-to-capacity ratio observed on the
 // most recent Compute call (may exceed 1 under oversubscription).
 func (s *System) Pressure() float64 { return s.lastPressure }
+
+// Quiescent reports whether the most recent Compute call carried zero
+// granted CPU time. A quiescent computation is a strict no-op on model
+// state — no AR(1) jitter is stepped and no RNG is consumed — which is
+// what lets the cluster skip idle servers' grant phases without
+// perturbing determinism.
+func (s *System) Quiescent() bool { return s.lastQuiescent }
 
 // Compute resolves one tick of shared-cache and bandwidth behaviour.
 // Results are returned in request order.
@@ -160,6 +168,32 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 	}
 	nominalInstr := s.nominalInstr
 	_ = totalRefRate
+
+	// Quiescent fast path: no VM ran, so every result is zero and the
+	// cache/bandwidth model has nothing to resolve. Like the disk's idle
+	// path, this consumes no randomness, keeping an all-idle tick a strict
+	// no-op that the cluster's quiescence optimization may skip.
+	var anyActive bool
+	for _, nominal := range nominalInstr {
+		if nominal > 0 {
+			anyActive = true
+			break
+		}
+	}
+	s.lastQuiescent = !anyActive
+	if !anyActive {
+		s.lastPressure = 0
+		if s.keep == nil {
+			s.keep = make(map[string]bool, len(reqs))
+		}
+		clear(s.keep)
+		for _, r := range reqs {
+			s.keep[r.ClientID] = true
+			dst = append(dst, Result{ClientID: r.ClientID})
+		}
+		s.jitter.GC(s.keep)
+		return dst
+	}
 
 	// Bandwidth pressure and congestion-driven penalty inflation.
 	pressure := totalDemand / (s.cfg.BandwidthCapacity * tickSec)

@@ -80,16 +80,35 @@ func Pearson(x, y []float64) (float64, error) {
 // VM reports no measurement for an interval (NaN in the input), the value
 // is treated as zero rather than omitted. This avoids over-emphasising
 // similarity computed over little data for mostly-idle suspects.
+// The substitution happens inline during accumulation — no copies are
+// made — and the arithmetic matches Pearson over zero-substituted copies
+// bit for bit.
 func PearsonMissingAsZero(x, y []float64) (float64, error) {
-	cx := make([]float64, len(x))
-	cy := make([]float64, len(y))
+	if len(x) != len(y) {
+		return 0, errors.New("stats: series length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	var sx, sy float64
 	for i := range x {
-		cx[i] = zeroIfNaN(x[i])
+		sx += zeroIfNaN(x[i])
 	}
 	for i := range y {
-		cy[i] = zeroIfNaN(y[i])
+		sy += zeroIfNaN(y[i])
 	}
-	return Pearson(cx, cy)
+	mx, my := sx/float64(len(x)), sy/float64(len(y))
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := zeroIfNaN(x[i])-mx, zeroIfNaN(y[i])-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
 }
 
 // PearsonOmitMissing is the classical alternative used as the ablation
@@ -136,6 +155,15 @@ func NewEWMA(alpha float64) *EWMA {
 	return &EWMA{alpha: alpha}
 }
 
+// MakeEWMA returns an EWMA by value, for embedding in slice-backed state
+// (one heap object per filter would defeat an allocation-free hot loop).
+func MakeEWMA(alpha float64) EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return EWMA{alpha: alpha}
+}
+
 // Update folds sample x into the average and returns the new value.
 func (e *EWMA) Update(x float64) float64 {
 	if !e.primed {
@@ -158,12 +186,46 @@ func (e *EWMA) Reset() { e.value = 0; e.primed = false }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between closest ranks. It returns 0 for empty input.
+// One-off queries use O(n) quickselect on a scratch copy rather than a
+// full sort; callers needing several quantiles of one sample should sort
+// once and use PercentileOfSorted (as Summarize does).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	if p <= 0 {
+		return selectKth(s, 0)
+	}
+	if p >= 100 {
+		return selectKth(s, len(s)-1)
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	vlo := selectKth(s, lo)
+	if lo == hi {
+		return vlo
+	}
+	// After selectKth(s, lo), every element right of lo is >= s[lo], so
+	// the (lo+1)-th order statistic is the minimum of that suffix.
+	vhi := s[lo+1]
+	for _, v := range s[lo+2:] {
+		if floatLess(v, vhi) {
+			vhi = v
+		}
+	}
+	frac := rank - float64(lo)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// PercentileOfSorted reads the p-th percentile from an already-sorted
+// sample (ascending, as sort.Float64s leaves it) with the same
+// interpolation rule as Percentile. It does not copy or allocate.
+func PercentileOfSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -178,6 +240,65 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// floatLess orders float64s the way sort.Float64s does: NaN sorts before
+// every other value.
+func floatLess(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// selectKth partially sorts s in place so that s[k] holds the k-th order
+// statistic (0-based, in floatLess order) with everything before it <=
+// and everything after it >=, and returns s[k]. Median-of-three pivoting
+// with an insertion-sort base case keeps the selection deterministic and
+// O(n) expected.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot of lo, mid, hi.
+		mid := lo + (hi-lo)/2
+		if floatLess(s[mid], s[lo]) {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if floatLess(s[hi], s[lo]) {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if floatLess(s[hi], s[mid]) {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		// Hoare partition around the pivot value.
+		i, j := lo, hi
+		for i <= j {
+			for floatLess(s[i], pivot) {
+				i++
+			}
+			for floatLess(pivot, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return s[k]
+		}
+	}
+	// Small range: insertion sort settles the exact order statistics.
+	for i := lo + 1; i <= hi; i++ {
+		for j := i; j > lo && floatLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[k]
 }
 
 // Median returns the 50th percentile of xs.
@@ -196,18 +317,23 @@ type Summary struct {
 	StdDev float64
 }
 
-// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary. One sorted copy serves all five quantiles (and Min/Max read
+// its endpoints directly) instead of the per-quantile copy-and-sort the
+// naive formulation pays five times over.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
 	return Summary{
-		N:      len(xs),
-		Min:    Percentile(xs, 0),
-		Q1:     Percentile(xs, 25),
-		Median: Percentile(xs, 50),
-		Q3:     Percentile(xs, 75),
-		Max:    Percentile(xs, 100),
+		N:      len(s),
+		Min:    s[0],
+		Q1:     PercentileOfSorted(s, 25),
+		Median: PercentileOfSorted(s, 50),
+		Q3:     PercentileOfSorted(s, 75),
+		Max:    s[len(s)-1],
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
 	}
