@@ -1,5 +1,5 @@
 # Tier-1 verification (ROADMAP.md): build + full test suite.
-.PHONY: all build test check race bench
+.PHONY: all build test check race bench bench-suite bench-compare
 
 all: check
 
@@ -24,11 +24,28 @@ check:
 	go test ./...
 	$(MAKE) race
 
-# bench measures the hot loops of the control plane — Monitor.Sample,
-# Correlator identification, and quiescent-cluster ticks — and records
-# the parsed results (iteration count, ns/op, B/op, allocs/op) in
-# BENCH_hotloop.json via cmd/benchjson. The raw `go test` output is
-# echoed so regressions are visible without opening the file.
+# bench measures the hot loops of the simulation and control plane —
+# Monitor.Sample, Correlator identification, quiescent-cluster ticks and
+# busy-cluster (active) ticks — and merges the parsed results (iteration
+# count, ns/op, B/op, allocs/op) into BENCH_hotloop.json via
+# cmd/benchjson. The raw `go test` output is echoed so regressions are
+# visible without opening the file.
+BENCH_PATTERN = MonitorSample|CorrelatorIdentify|QuiescentCluster|ActiveServerTick
 bench:
-	go test -run='^$$' -bench='MonitorSample|CorrelatorIdentify|QuiescentCluster' -benchmem \
+	go test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem \
 		./internal/core ./internal/cluster | go run ./cmd/benchjson -o BENCH_hotloop.json
+
+# bench-compare reruns the hot-loop benchmarks and prints per-benchmark
+# deltas against the committed BENCH_hotloop.json baseline without
+# touching it.
+bench-compare:
+	go test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem \
+		./internal/core ./internal/cluster | go run ./cmd/benchjson -baseline BENCH_hotloop.json
+
+# bench-suite times the full Fig 3-12 experiment suite end to end —
+# per-figure wall clock via perfbench -suite, plus the single-pass
+# BenchmarkFigSuite measurement — and merges both into BENCH_suite.json.
+bench-suite:
+	go run ./cmd/perfbench -suite > /dev/null
+	go test -run='^$$' -bench=FigSuite -benchtime=1x \
+		./internal/experiments | go run ./cmd/benchjson -o BENCH_suite.json

@@ -2,14 +2,20 @@
 //
 // It reads benchmark output on stdin, echoes every line to stdout
 // unchanged (so it can sit in a pipeline without hiding the results),
-// and writes a JSON array of the parsed benchmark results to the file
-// named by -o. Each entry records the benchmark name, the iteration
-// count, and the per-op metrics reported by the standard library
-// harness (ns/op always; B/op and allocs/op when -benchmem is on).
+// and merges the parsed benchmark results into the JSON array in the
+// file named by -o: entries already present keep their position and are
+// replaced by the new measurement, new names append. That way a partial
+// rerun (say, one package's benchmarks) refreshes its rows without
+// dropping everyone else's.
+//
+// With -baseline FILE it additionally prints a per-benchmark comparison
+// of the parsed results against the baseline JSON, so a pipeline like
+// `make bench-compare` shows regressions inline.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json
 package main
 
 import (
@@ -18,56 +24,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"perfcloud/internal/benchfmt"
 )
 
-type result struct {
-	Name        string  `json:"name"`
-	Count       int64   `json:"count"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-// parseLine parses one benchmark result line of the form
-//
-//	BenchmarkName-8   12345   987.6 ns/op   512 B/op   7 allocs/op
-//
-// and reports whether the line was a benchmark result at all.
-func parseLine(line string) (result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return result{}, false
-	}
-	count, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return result{}, false
-	}
-	r := result{Name: fields[0], Count: count}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			r.NsPerOp = v
-		case "B/op":
-			r.BytesPerOp = int64(v)
-		case "allocs/op":
-			r.AllocsPerOp = int64(v)
-		}
-	}
-	return r, true
-}
-
 func main() {
-	out := flag.String("o", "", "file to write the JSON array to (default stdout, suppressing the echo)")
+	out := flag.String("o", "", "JSON file to merge results into (default stdout, suppressing the echo)")
+	baseline := flag.String("baseline", "", "baseline JSON file to diff the parsed results against")
 	flag.Parse()
 
-	echo := *out != ""
-	var results []result
+	echo := *out != "" || *baseline != ""
+	var results []benchfmt.Result
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -75,28 +42,52 @@ func main() {
 		if echo {
 			fmt.Println(line)
 		}
-		if r, ok := parseLine(line); ok {
+		if r, ok := benchfmt.ParseLine(line); ok {
 			results = append(results, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	buf, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *baseline != "" {
+		base, err := benchfmt.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		byName := make(map[string]benchfmt.Result, len(base))
+		for _, r := range base {
+			byName[r.Name] = r
+		}
+		fmt.Printf("\nvs %s:\n", *baseline)
+		for _, r := range results {
+			fmt.Println(" ", benchfmt.FormatDelta(byName[r.Name], r))
+		}
 	}
-	buf = append(buf, '\n')
+
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if *baseline != "" {
+			return
+		}
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(append(buf, '\n'))
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	prev, err := benchfmt.ReadFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := benchfmt.WriteFile(*out, benchfmt.Merge(prev, results)); err != nil {
+		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

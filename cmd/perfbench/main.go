@@ -6,12 +6,19 @@
 // Usage:
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -parallel bounds both concurrency layers — per-server tick work inside a
 // cluster and independent experiment repetitions. 0 (the default) uses
 // GOMAXPROCS; 1 forces fully sequential execution. Either setting produces
-// bit-for-bit identical tables for the same seed.
+// bit-for-bit identical tables for the same seed. Both layers draw workers
+// from one shared slot pool, so their product never oversubscribes the
+// machine.
+//
+// -suite runs the evaluation suite (Figs 3-12) and records wall-clock
+// per-figure timings, merged by name into the JSON file named by
+// -suitejson (default BENCH_suite.json, same schema as benchjson output:
+// Count 1, NsPerOp = elapsed nanoseconds).
 //
 // -cpuprofile and -memprofile write pprof profiles of the selected run,
 // for inspecting the simulation and monitoring hot loops with
@@ -28,6 +35,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"perfcloud/internal/benchfmt"
 	"perfcloud/internal/cluster"
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/stats"
@@ -41,6 +49,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	timelines := flag.String("timelines", "", "directory to write raw time-series CSVs (Figs 3, 9, 10)")
 	parallel := flag.Int("parallel", 0, "worker bound for tick and run concurrency (0 = GOMAXPROCS, 1 = sequential)")
+	suite := flag.Bool("suite", false, "run the Fig 3-12 evaluation suite and record per-figure wall-clock timings")
+	suitejson := flag.String("suitejson", "BENCH_suite.json", "file to merge -suite timings into")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -100,7 +110,27 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
-	want := func(f string) bool { return *fig == "all" || *fig == f }
+	suiteFigs := map[string]bool{
+		"3": true, "4": true, "5": true, "6": true, "7": true,
+		"9": true, "10": true, "11": true, "12": true,
+	}
+	want := func(f string) bool {
+		if *suite {
+			return suiteFigs[f]
+		}
+		return *fig == "all" || *fig == f
+	}
+	var timings []benchfmt.Result
+	timed := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		if *suite {
+			timings = append(timings, benchfmt.Result{
+				Name: "FigSuite/" + name, Count: 1,
+				NsPerOp: float64(time.Since(t0).Nanoseconds()),
+			})
+		}
+	}
 	start := time.Now()
 
 	if want("1") {
@@ -110,28 +140,32 @@ func main() {
 		emit(experiments.Fig2(*seed).Table())
 	}
 	if want("3") {
-		r := experiments.Fig3(*seed)
-		emit(r.Table())
-		writeSeries("fig3_iowait_deviation.csv",
-			[]string{"alone", "with_fio"},
-			[]*stats.TimeSeries{r.Alone.Iowait, r.WithFio.Iowait})
+		timed("Fig3", func() {
+			r := experiments.Fig3(*seed)
+			emit(r.Table())
+			writeSeries("fig3_iowait_deviation.csv",
+				[]string{"alone", "with_fio"},
+				[]*stats.TimeSeries{r.Alone.Iowait, r.WithFio.Iowait})
+		})
 	}
 	if want("4") {
-		emit(experiments.Fig4(*seed).Table())
+		timed("Fig4", func() { emit(experiments.Fig4(*seed).Table()) })
 	}
 	if want("5") {
-		emit(experiments.Fig5(*seed).Table())
+		timed("Fig5", func() { emit(experiments.Fig5(*seed).Table()) })
 	}
 	if want("6") {
-		emit(experiments.Fig6(*seed).Table())
+		timed("Fig6", func() { emit(experiments.Fig6(*seed).Table()) })
 	}
 	if want("7") {
-		emit(experiments.Fig7().Table())
+		timed("Fig7", func() { emit(experiments.Fig7().Table()) })
 	}
 	var fig9 *experiments.Fig9Result
 	if want("9") || want("10") {
-		r := experiments.Fig9(*seed)
-		fig9 = &r
+		timed("Fig9", func() {
+			r := experiments.Fig9(*seed)
+			fig9 = &r
+		})
 	}
 	if want("9") {
 		emit(fig9.Table())
@@ -141,41 +175,47 @@ func main() {
 			[]*stats.TimeSeries{def.Iowait, pc.Iowait, def.CPI, pc.CPI})
 	}
 	if want("10") {
-		r10 := experiments.Fig10(fig9.Arm("perfcloud"))
-		emit(r10.Table())
-		writeSeries("fig10_caps.csv",
-			[]string{"fio_iops_cap", "stream_core_cap"},
-			[]*stats.TimeSeries{r10.FioCap, r10.StreamCap})
+		timed("Fig10", func() {
+			r10 := experiments.Fig10(fig9.Arm("perfcloud"))
+			emit(r10.Table())
+			writeSeries("fig10_caps.csv",
+				[]string{"fio_iops_cap", "stream_core_cap"},
+				[]*stats.TimeSeries{r10.FioCap, r10.StreamCap})
+		})
 	}
 	if want("11") {
-		cfg := experiments.DefaultLargeScaleConfig()
-		cfg.Seed = *seed
-		if *quick {
-			cfg.Servers, cfg.WorkersPerServer = 5, 8
-			cfg.NumMR, cfg.NumSpark = 20, 20
-			cfg.Fio, cfg.Streams = 4, 4
-		}
-		emit(experiments.Fig11With(cfg, []experiments.Scheme{
-			experiments.SchemeLATE(),
-			experiments.SchemeDolly(2),
-			experiments.SchemeDolly(4),
-			experiments.SchemeDolly(6),
-			experiments.SchemePerfCloud(),
-		}).Table())
+		timed("Fig11", func() {
+			cfg := experiments.DefaultLargeScaleConfig()
+			cfg.Seed = *seed
+			if *quick {
+				cfg.Servers, cfg.WorkersPerServer = 5, 8
+				cfg.NumMR, cfg.NumSpark = 20, 20
+				cfg.Fio, cfg.Streams = 4, 4
+			}
+			emit(experiments.Fig11With(cfg, []experiments.Scheme{
+				experiments.SchemeLATE(),
+				experiments.SchemeDolly(2),
+				experiments.SchemeDolly(4),
+				experiments.SchemeDolly(6),
+				experiments.SchemePerfCloud(),
+			}).Table())
+		})
 	}
 	if want("12") {
-		cfg := experiments.DefaultVariabilityConfig()
-		cfg.Seed = *seed
-		if *quick {
-			cfg.Servers, cfg.WorkersPerServer = 5, 8
-			cfg.Runs, cfg.Tasks = 8, 20
-			cfg.Fio, cfg.Streams = 4, 4
-		}
-		emit(experiments.Fig12With(cfg, []experiments.Scheme{
-			experiments.SchemeLATE(),
-			experiments.SchemeDolly(2),
-			experiments.SchemePerfCloud(),
-		}).Table())
+		timed("Fig12", func() {
+			cfg := experiments.DefaultVariabilityConfig()
+			cfg.Seed = *seed
+			if *quick {
+				cfg.Servers, cfg.WorkersPerServer = 5, 8
+				cfg.Runs, cfg.Tasks = 8, 20
+				cfg.Fio, cfg.Streams = 4, 4
+			}
+			emit(experiments.Fig12With(cfg, []experiments.Scheme{
+				experiments.SchemeLATE(),
+				experiments.SchemeDolly(2),
+				experiments.SchemePerfCloud(),
+			}).Table())
+		})
 	}
 	if want("ablations") {
 		emit(experiments.AblationDetector(*seed).Table())
@@ -187,5 +227,21 @@ func main() {
 		emit(experiments.Heterogeneous(*seed).Table())
 		emit(experiments.Migration(*seed).Table())
 	}
-	fmt.Fprintf(os.Stderr, "perfbench: done in %v\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	if *suite {
+		timings = append(timings, benchfmt.Result{
+			Name: "FigSuite/Total", Count: 1,
+			NsPerOp: float64(elapsed.Nanoseconds()),
+		})
+		prev, err := benchfmt.ReadFile(*suitejson)
+		if err == nil {
+			err = benchfmt.WriteFile(*suitejson, benchfmt.Merge(prev, timings))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "perfbench: wrote", *suitejson)
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: done in %v\n", elapsed.Round(time.Millisecond))
 }

@@ -1,0 +1,57 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := ParseLine("BenchmarkMonitorSample-8   12345   987.6 ns/op   512 B/op   7 allocs/op")
+	if !ok {
+		t.Fatal("result line not recognized")
+	}
+	want := Result{Name: "BenchmarkMonitorSample-8", Count: 12345, NsPerOp: 987.6, BytesPerOp: 512, AllocsPerOp: 7}
+	if r != want {
+		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tperfcloud/internal/core\t0.1s",
+		"Benchmark only name",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("non-result line parsed as a result: %q", line)
+		}
+	}
+}
+
+func TestMergeKeepsOrderAndReplacesByName(t *testing.T) {
+	base := []Result{{Name: "A", NsPerOp: 1}, {Name: "B", NsPerOp: 2}, {Name: "C", NsPerOp: 3}}
+	updates := []Result{{Name: "C", NsPerOp: 30}, {Name: "A", NsPerOp: 10}, {Name: "D", NsPerOp: 4}}
+	got := Merge(base, updates)
+	want := []Result{{Name: "A", NsPerOp: 10}, {Name: "B", NsPerOp: 2}, {Name: "C", NsPerOp: 30}, {Name: "D", NsPerOp: 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged %+v, want %+v", got, want)
+	}
+}
+
+func TestReadFileMissingIsEmpty(t *testing.T) {
+	got, err := ReadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || got != nil {
+		t.Fatalf("missing file: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := []Result{{Name: "A", Count: 5, NsPerOp: 1.5, BytesPerOp: 8, AllocsPerOp: 1}}
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, %v", out, err)
+	}
+}

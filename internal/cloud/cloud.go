@@ -143,6 +143,20 @@ func (m *Manager) VMsOnServer(serverID string) ([]VMInfo, error) {
 	return out, nil
 }
 
+// EachVMOnServer is the non-copying VMsOnServer: it calls fn once per VM
+// on the server, in placement order, without building a slice. Node
+// managers poll placement every interval, so their hot path uses this.
+func (m *Manager) EachVMOnServer(serverID string, fn func(VMInfo)) error {
+	srv := m.cluster.FindServer(serverID)
+	if srv == nil {
+		return fmt.Errorf("cloud: no server %q", serverID)
+	}
+	srv.EachVM(func(v *cluster.VM) {
+		fn(VMInfo{ID: v.ID(), Priority: v.Priority(), AppID: v.AppID(), ServerID: serverID})
+	})
+	return nil
+}
+
 // HighPriorityApps groups the high-priority VMs on a server by
 // application id, sorted for deterministic iteration.
 func (m *Manager) HighPriorityApps(serverID string) (map[string][]string, error) {

@@ -92,6 +92,20 @@ type Workload interface {
 	Done() bool
 }
 
+// DemandEpocher is optionally implemented by Workloads whose demand is
+// piecewise constant between discrete events — the fluid-model norm.
+// DemandEpoch returns a counter that must advance before any call on
+// which a subsequent Demand or Done result could differ from the last
+// tick's (for the same tick length); while every VM on a server reports
+// an unchanged epoch, the server reuses last tick's demand and request
+// vectors instead of rebuilding them (DESIGN.md §5.3). Implementations
+// must also keep Demand free of side effects, since reused ticks skip
+// the call entirely. Workloads that do not implement the interface opt
+// their server out of reuse; correctness is unaffected.
+type DemandEpocher interface {
+	DemandEpoch() uint64
+}
+
 // VM is one virtual machine: a cgroup, a placement, and (optionally) a
 // running workload. VMs appear as black boxes to PerfCloud, which sees
 // only the cgroup counters and throttle knobs.
@@ -104,6 +118,7 @@ type VM struct {
 	cg       *cgroup.Cgroup
 	server   *Server
 	workload Workload
+	epocher  DemandEpocher // workload's demand-epoch view; nil if unsupported
 
 	lastGrant Grant
 }
@@ -137,7 +152,21 @@ func (v *VM) Workload() Workload { return v.workload }
 // SetWorkload attaches (or, with nil, detaches) the VM's workload.
 func (v *VM) SetWorkload(w Workload) {
 	v.workload = w
+	v.epocher, _ = w.(DemandEpocher)
 	v.server.MarkDirty()
+}
+
+// demandEpoch returns the VM's current demand epoch and whether the VM
+// supports epoch-based reuse at all. A workload-less VM demands nothing
+// until SetWorkload dirties the server, so it is trivially stable.
+func (v *VM) demandEpoch() (uint64, bool) {
+	if v.workload == nil {
+		return 0, true
+	}
+	if v.epocher == nil {
+		return 0, false
+	}
+	return v.epocher.DemandEpoch(), true
 }
 
 // Idle reports whether the VM has no runnable workload this tick.
@@ -198,6 +227,19 @@ type Server struct {
 	skipped int
 	skipIDs []string
 
+	// Steady-state demand reuse (DESIGN.md §5.3). After a fully rebuilt
+	// tick whose VMs all support DemandEpocher, epochs snapshots their
+	// demand epochs and steadyValid arms the fast path: while every epoch
+	// (and every cgroup throttle, and the tick length) is unchanged, the
+	// demand/request vectors below still describe the current tick, so
+	// the pipeline skips the Demand calls and vector rebuilds and goes
+	// straight to the (input-memoized) allocators. MarkDirty and
+	// placement changes disarm it.
+	steadyValid  bool
+	lastTickSec  float64
+	epochs       []uint64
+	throttleSeqs []uint64
+
 	// Per-tick scratch buffers, reused across ticks so the steady-state
 	// resource pipeline allocates nothing. They are owned exclusively by
 	// the goroutine ticking this server (servers never share scratch).
@@ -224,16 +266,21 @@ func (s *Server) PlacementEpoch() uint64 { return s.epoch }
 // whether the grant phase is currently being skipped.
 func (s *Server) Quiescent() bool { return s.quiescent }
 
-// MarkDirty clears the server's quiescent state, forcing the next tick to
-// run the full grant phase. Actuators outside the cluster package (the
-// hypervisor's cap setters) call it when they change state that the
-// pipeline consumes; placement and workload changes call it internally.
-func (s *Server) MarkDirty() { s.quiescent = false }
+// MarkDirty clears the server's quiescent and steady-reuse state, forcing
+// the next tick to run the full grant phase with freshly built request
+// vectors. Actuators outside the cluster package (the hypervisor's cap
+// setters) call it when they change state that the pipeline consumes;
+// placement and workload changes call it internally.
+func (s *Server) MarkDirty() {
+	s.quiescent = false
+	s.steadyValid = false
+}
 
 // bumpEpoch records a placement change and re-dirties the pipeline.
 func (s *Server) bumpEpoch() {
 	s.epoch++
 	s.quiescent = false
+	s.steadyValid = false
 }
 
 // ID returns the server's identifier.
@@ -282,7 +329,7 @@ func (s *Server) FindVM(id string) *VM {
 // grant phase of different servers concurrently. Workload.Advance — which
 // may mutate state shared across servers, such as a framework's task set —
 // is deferred to advancePhase.
-func (s *Server) grantPhase(tickSec float64, quiesce bool) {
+func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	n := len(s.vms)
 	if n == 0 {
 		return
@@ -315,52 +362,69 @@ func (s *Server) grantPhase(tickSec float64, quiesce bool) {
 		return
 	}
 	s.catchUp()
-	s.demands = s.demands[:0]
-	for _, v := range s.vms {
-		var d Demand
-		if !v.Idle() {
-			d = v.workload.Demand(tickSec)
-		}
-		s.demands = append(s.demands, d)
-	}
 
-	// CPU.
-	s.cpuReqs = s.cpuReqs[:0]
-	for i, v := range s.vms {
-		s.cpuReqs = append(s.cpuReqs, cpu.Request{
-			ClientID: v.id,
-			Seconds:  s.demands[i].CPUSeconds,
-			VCPUs:    v.vcpus,
-			CapCores: v.cg.Throttle().CPUCores,
-		})
+	// Steady-state reuse: when every VM's demand epoch (and throttle, and
+	// the tick length) matches the snapshot taken after the last full
+	// rebuild, the demand and request vectors below already describe this
+	// tick, so the Demand calls and the three rebuild loops are skipped.
+	// The allocators still run — the disk draws fresh queueing-delay
+	// jitter every tick — but on identical inputs the CPU and memory
+	// allocators return their cached grants and the disk reuses its solved
+	// shares. Like quiescence, reuse is bit-for-bit invisible (see
+	// TestMemoizationMatchesFullPipeline).
+	steady := reuse && s.steadyUsable(tickSec, n)
+	if !steady {
+		s.demands = s.demands[:0]
+		for _, v := range s.vms {
+			var d Demand
+			if !v.Idle() {
+				d = v.workload.Demand(tickSec)
+			}
+			s.demands = append(s.demands, d)
+		}
+
+		// CPU.
+		s.cpuReqs = s.cpuReqs[:0]
+		for i, v := range s.vms {
+			s.cpuReqs = append(s.cpuReqs, cpu.Request{
+				ClientID: v.id,
+				Seconds:  s.demands[i].CPUSeconds,
+				VCPUs:    v.vcpus,
+				CapCores: v.cg.Throttle().CPUCores,
+			})
+		}
 	}
 	s.cpuGrants = s.cpu.AllocateInto(s.cpuGrants[:0], tickSec, s.cpuReqs)
 
 	// Memory system.
-	s.memReqs = s.memReqs[:0]
-	for i, v := range s.vms {
-		s.memReqs = append(s.memReqs, memsys.Request{
-			ClientID:        v.id,
-			CPUSeconds:      s.cpuGrants[i].Seconds,
-			CoreCPI:         s.demands[i].CoreCPI,
-			LLCRefsPerInstr: s.demands[i].LLCRefsPerInstr,
-			BytesPerInstr:   s.demands[i].BytesPerInstr,
-			WorkingSetBytes: s.demands[i].WorkingSetBytes,
-		})
+	if !steady {
+		s.memReqs = s.memReqs[:0]
+		for i, v := range s.vms {
+			s.memReqs = append(s.memReqs, memsys.Request{
+				ClientID:        v.id,
+				CPUSeconds:      s.cpuGrants[i].Seconds,
+				CoreCPI:         s.demands[i].CoreCPI,
+				LLCRefsPerInstr: s.demands[i].LLCRefsPerInstr,
+				BytesPerInstr:   s.demands[i].BytesPerInstr,
+				WorkingSetBytes: s.demands[i].WorkingSetBytes,
+			})
+		}
 	}
 	s.memResults = s.mem.ComputeInto(s.memResults[:0], tickSec, s.memReqs)
 
 	// Disk.
-	s.diskReqs = s.diskReqs[:0]
-	for i, v := range s.vms {
-		th := v.cg.Throttle()
-		s.diskReqs = append(s.diskReqs, disk.Request{
-			ClientID: v.id,
-			Ops:      s.demands[i].IOOps,
-			Bytes:    s.demands[i].IOBytes,
-			CapIOPS:  th.ReadIOPS,
-			CapBPS:   th.ReadBPS,
-		})
+	if !steady {
+		s.diskReqs = s.diskReqs[:0]
+		for i, v := range s.vms {
+			th := v.cg.Throttle()
+			s.diskReqs = append(s.diskReqs, disk.Request{
+				ClientID: v.id,
+				Ops:      s.demands[i].IOOps,
+				Bytes:    s.demands[i].IOBytes,
+				CapIOPS:  th.ReadIOPS,
+				CapBPS:   th.ReadBPS,
+			})
+		}
 	}
 	s.diskGrants = s.disk.AllocateInto(s.diskGrants[:0], tickSec, s.diskReqs)
 
@@ -376,14 +440,61 @@ func (s *Server) grantPhase(tickSec float64, quiesce bool) {
 			MemBytes:     s.memResults[i].MemBytes,
 		}
 		v.lastGrant = g
-		v.cg.AddCPU(g.CPUSeconds)
-		v.cg.AddBlkio(g.IOOps, g.IOBytes, g.IOWaitMs)
-		v.cg.AddPerf(s.memResults[i].Cycles, s.memResults[i].Instructions,
+		v.cg.AddTick(g.IOOps, g.IOBytes, g.IOWaitMs, g.CPUSeconds,
+			s.memResults[i].Cycles, s.memResults[i].Instructions,
 			s.memResults[i].LLCRefs, s.memResults[i].LLCMisses)
 	}
 
 	// A fully processed all-idle tick proves the next one is skippable.
 	s.quiescent = idle
+	// After a rebuild, snapshot each VM's demand epoch to arm reuse for
+	// the next tick; a reused tick leaves the snapshot untouched (it
+	// matched by definition).
+	if !steady {
+		s.snapshotEpochs(tickSec)
+	}
+}
+
+// steadyUsable reports whether the request vectors cached from the last
+// full rebuild still describe a tick of length tickSec: the reuse state
+// is armed, every VM's demand epoch matches the snapshot, and every
+// cgroup's throttle sequence is unchanged — the caps baked into the
+// cached requests are still in force. The throttle check makes reuse
+// self-validating against cap changes applied directly through a Cgroup
+// without a MarkDirty call, at the cost of one atomic load per VM.
+func (s *Server) steadyUsable(tickSec float64, n int) bool {
+	if !s.steadyValid || tickSec != s.lastTickSec ||
+		len(s.epochs) != n || len(s.throttleSeqs) != n ||
+		len(s.cpuReqs) != n || len(s.memReqs) != n || len(s.diskReqs) != n {
+		return false
+	}
+	for i, v := range s.vms {
+		ep, ok := v.demandEpoch()
+		if !ok || ep != s.epochs[i] || v.cg.ThrottleSeq() != s.throttleSeqs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotEpochs records the demand epochs and throttle sequences backing
+// the just-rebuilt request vectors. A VM whose workload does not report
+// epochs disarms reuse for the whole server — its demand could change
+// silently.
+func (s *Server) snapshotEpochs(tickSec float64) {
+	s.lastTickSec = tickSec
+	s.epochs = s.epochs[:0]
+	s.throttleSeqs = s.throttleSeqs[:0]
+	for _, v := range s.vms {
+		ep, ok := v.demandEpoch()
+		if !ok {
+			s.steadyValid = false
+			return
+		}
+		s.epochs = append(s.epochs, ep)
+		s.throttleSeqs = append(s.throttleSeqs, v.cg.ThrottleSeq())
+	}
+	s.steadyValid = true
 }
 
 // catchUp replays the random draws of any skipped idle ticks before a
@@ -426,6 +537,10 @@ type Cluster struct {
 	// quiesce selects the quiescence fast path for this cluster:
 	// 0 defers to the package default, 1 forces it on, 2 forces it off.
 	quiesce int8
+
+	// reuse selects the steady-state demand-reuse fast path, with the
+	// same encoding as quiesce.
+	reuse int8
 }
 
 // defaultTickWorkers is the package-wide worker default for clusters that
@@ -457,6 +572,22 @@ var defaultQuiescenceOff atomic.Bool
 // Per-cluster SetQuiescence overrides it.
 func SetDefaultQuiescence(enabled bool) bool {
 	return !defaultQuiescenceOff.Swap(!enabled)
+}
+
+// defaultDemandReuseOff disables the steady-state demand-reuse fast path
+// package-wide when set; the zero value (enabled) is the normal
+// operating mode. It is atomic so tests can flip modes without racing
+// live clusters.
+var defaultDemandReuseOff atomic.Bool
+
+// SetDefaultDemandReuse toggles the package-wide default for the
+// steady-state demand-reuse fast path (reusing a server's demand and
+// request vectors while no VM's demand epoch moved) and returns the
+// previous setting. The fast path is enabled by default; both settings
+// produce bit-for-bit identical simulations — the toggle exists so tests
+// can prove exactly that. Per-cluster SetDemandReuse overrides it.
+func SetDefaultDemandReuse(enabled bool) bool {
+	return !defaultDemandReuseOff.Swap(!enabled)
 }
 
 // New creates an empty cluster.
@@ -504,6 +635,28 @@ func (c *Cluster) QuiescenceEnabled() bool {
 		return false
 	}
 	return !defaultQuiescenceOff.Load()
+}
+
+// SetDemandReuse overrides the package-wide demand-reuse default for
+// this cluster (see SetDefaultDemandReuse).
+func (c *Cluster) SetDemandReuse(enabled bool) {
+	if enabled {
+		c.reuse = 1
+	} else {
+		c.reuse = 2
+	}
+}
+
+// DemandReuseEnabled returns the effective demand-reuse setting for this
+// cluster's tick.
+func (c *Cluster) DemandReuseEnabled() bool {
+	switch c.reuse {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	return !defaultDemandReuseOff.Load()
 }
 
 // AddServer creates a server with the given id and configuration.
@@ -650,17 +803,21 @@ func (c *Cluster) EachAppVM(appID string, fn func(*VM)) {
 }
 
 // Tick advances every server's resource pipeline by one tick: the
-// server-local grant phases fan out across the worker pool (every server's
-// state — resource models, RNG streams, cgroups — is goroutine-private, so
-// any interleaving yields the same result), then the advance phase hands
-// grants to workloads sequentially in placement order, because framework
-// executors may mutate task state shared across servers (speculative and
-// cloned attempts of one task run on several machines).
+// server-local grant phases fan out across workers drawn from the
+// process-wide shared slot pool (every server's state — resource models,
+// RNG streams, cgroups — is goroutine-private, so any interleaving yields
+// the same result), then the advance phase hands grants to workloads
+// sequentially in placement order, because framework executors may mutate
+// task state shared across servers (speculative and cloned attempts of
+// one task run on several machines). Drawing from the shared pool keeps
+// nested fan-outs — concurrent experiment repetitions each ticking their
+// own cluster — from oversubscribing GOMAXPROCS.
 func (c *Cluster) Tick(clk *sim.Clock) {
 	tickSec := clk.TickSeconds()
 	quiesce := c.QuiescenceEnabled()
-	sim.ForEachParallel(len(c.servers), c.TickWorkers(), func(i int) {
-		c.servers[i].grantPhase(tickSec, quiesce)
+	reuse := c.DemandReuseEnabled()
+	sim.ForEachShared(len(c.servers), c.TickWorkers(), func(i int) {
+		c.servers[i].grantPhase(tickSec, quiesce, reuse)
 	})
 	for _, s := range c.servers {
 		s.advancePhase(tickSec)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"perfcloud/internal/cloud"
+	"perfcloud/internal/cluster"
 	"perfcloud/internal/hypervisor"
 	"perfcloud/internal/sim"
 )
@@ -126,6 +127,15 @@ type NodeManager struct {
 	nextSample float64
 	trace      []TraceEntry
 
+	// Per-interval scratch for the placement query, reused across
+	// intervals so the steady state allocates nothing: apps maps app id →
+	// high-priority VM ids (values truncated, not deleted, each interval;
+	// a key whose app left the server keeps an empty slice), lowPri and
+	// appIDs are the low-priority VM ids and the sorted non-empty app ids.
+	apps   map[string][]string
+	lowPri []string
+	appIDs []string
+
 	// unresolvable counts consecutive contended intervals with no
 	// low-priority antagonist to throttle; migrations records escalations.
 	unresolvable int
@@ -149,6 +159,7 @@ func NewNodeManager(cfg Config, cm *cloud.Manager, hv *hypervisor.Hypervisor) *N
 		cpuOffenders: make(map[string]bool),
 		prevIOAnt:    make(map[string]bool),
 		prevCPUAnt:   make(map[string]bool),
+		apps:         make(map[string][]string),
 	}
 }
 
@@ -181,15 +192,35 @@ func (nm *NodeManager) Tick(c *sim.Clock) {
 func (nm *NodeManager) runInterval(now float64) {
 	nm.interval++
 	// Step 1: fetch VM roles from the cloud manager (placement may have
-	// changed through arrivals, terminations or migration).
-	apps, err := nm.cm.HighPriorityApps(nm.ServerID())
+	// changed through arrivals, terminations or migration). A single
+	// streaming pass over the placement fills the reused scratch maps and
+	// slices — the same grouping HighPriorityApps and LowPriorityVMs
+	// produce, without rebuilding their slices every interval.
+	for id, vms := range nm.apps {
+		nm.apps[id] = vms[:0]
+	}
+	nm.lowPri = nm.lowPri[:0]
+	err := nm.cm.EachVMOnServer(nm.ServerID(), func(in cloud.VMInfo) {
+		switch {
+		case in.Priority == cluster.HighPriority && in.AppID != "":
+			nm.apps[in.AppID] = append(nm.apps[in.AppID], in.ID)
+		case in.Priority == cluster.LowPriority:
+			nm.lowPri = append(nm.lowPri, in.ID)
+		}
+	})
 	if err != nil {
 		return
 	}
-	lowPri, err := nm.cm.LowPriorityVMs(nm.ServerID())
-	if err != nil {
-		return
+	nm.appIDs = nm.appIDs[:0]
+	for id, vms := range nm.apps {
+		if len(vms) > 0 {
+			sort.Strings(vms)
+			nm.appIDs = append(nm.appIDs, id)
+		}
 	}
+	sort.Strings(nm.appIDs)
+	sort.Strings(nm.lowPri)
+	apps, lowPri := nm.apps, nm.lowPri
 
 	// Step 2: sample the performance monitor.
 	s := nm.mon.Sample(now, nm.cfg.IntervalSec)
@@ -197,12 +228,7 @@ func (nm *NodeManager) runInterval(now float64) {
 	// Step 3: deviation signals — the maximum across the server's
 	// high-priority applications (usually there is exactly one).
 	var det Detection
-	appIDs := make([]string, 0, len(apps))
-	for id := range apps {
-		appIDs = append(appIDs, id)
-	}
-	sort.Strings(appIDs)
-	for _, id := range appIDs {
+	for _, id := range nm.appIDs {
 		d := Detect(s, apps[id], nm.cfg.Thresholds)
 		det.IowaitDev = math.Max(det.IowaitDev, d.IowaitDev)
 		det.CPIDev = math.Max(det.CPIDev, d.CPIDev)
@@ -239,7 +265,7 @@ func (nm *NodeManager) runInterval(now float64) {
 	// interfering with each other — escalate to the cloud manager, which
 	// may migrate one of the colliding apps' VMs off this server.
 	if nm.cfg.EnableMigration {
-		if det.Contention() && len(nm.io) == 0 && len(nm.cpu) == 0 && len(apps) >= 2 {
+		if det.Contention() && len(nm.io) == 0 && len(nm.cpu) == 0 && len(nm.appIDs) >= 2 {
 			nm.unresolvable++
 			limit := nm.cfg.MigrationAfterIntervals
 			if limit == 0 {

@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// setMemoize flips the package memo default and restores it on cleanup.
+func setMemoize(t *testing.T, enabled bool) {
+	t.Helper()
+	prev := SetDefaultMemoize(enabled)
+	t.Cleanup(func() { SetDefaultMemoize(prev) })
+}
+
+// memoTickSeq is a tick sequence that exercises the memo: repeated inputs
+// (hit), a changed demand (miss), repeats of the change (hit again), a
+// changed cap (miss), and a quiescent stretch (hit on the zero vector).
+func memoTickSeq(s *Scheduler) [][]Grant {
+	reqs := []Request{
+		{ClientID: "a", Seconds: 0.4, VCPUs: 4},
+		{ClientID: "b", Seconds: 1.2, VCPUs: 8},
+		{ClientID: "c", Seconds: 0.9, VCPUs: 2, CapCores: 1},
+	}
+	var out [][]Grant
+	record := func() {
+		out = append(out, append([]Grant(nil), s.Allocate(0.1, reqs)...))
+	}
+	for i := 0; i < 5; i++ {
+		record()
+	}
+	reqs[1].Seconds = 2.5
+	for i := 0; i < 3; i++ {
+		record()
+	}
+	reqs[2].CapCores = 0.5
+	record()
+	for i := range reqs {
+		reqs[i].Seconds = 0
+	}
+	for i := 0; i < 3; i++ {
+		record()
+	}
+	return out
+}
+
+func TestMemoizationMatchesFullSolve(t *testing.T) {
+	setMemoize(t, true)
+	memo := memoTickSeq(New(DefaultConfig()))
+
+	setMemoize(t, false)
+	full := memoTickSeq(New(DefaultConfig()))
+
+	if !reflect.DeepEqual(memo, full) {
+		t.Fatalf("memoized grants diverge from full solve:\nmemo: %v\nfull: %v", memo, full)
+	}
+}
+
+func TestMemoHitReturnsCachedGrants(t *testing.T) {
+	setMemoize(t, true)
+	s := New(DefaultConfig())
+	reqs := []Request{{ClientID: "a", Seconds: 0.5, VCPUs: 4}}
+	first := s.Allocate(0.1, reqs)
+	if !s.memoValid {
+		t.Fatal("memo not armed after a full solve")
+	}
+	// Poison the solver scratch; a memo hit must not touch it.
+	s.clamped = append(s.clamped[:0], 999)
+	second := s.Allocate(0.1, reqs)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("steady tick changed grants: %v vs %v", first, second)
+	}
+	if len(s.clamped) != 1 || s.clamped[0] != 999 {
+		t.Fatal("memo hit re-ran the solve")
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"perfcloud/internal/sim"
 )
@@ -129,6 +130,51 @@ type Disk struct {
 	timeDemand []float64
 	keep       map[string]bool
 	fair       fairScratch
+
+	// Steady-state memo. Unlike the CPU and memory allocators the disk
+	// cannot return cached grants wholesale: the per-client AR(1) luck
+	// factor feeds every grant's queueing delay, so WaitMs is fresh every
+	// tick by construction. What *is* a pure function of (tickSec, reqs)
+	// is everything upstream of the luck draw — throttle capping, random
+	// load, degraded bandwidth, per-op cost and the max-min fair shares —
+	// so a tick repeating last tick's request vector reuses the cached
+	// Ops/Bytes grants and the cached wait coefficient, and recomputes
+	// only WaitMs from this tick's draws.
+	memoValid     bool
+	memoTick      float64
+	memoQuiescent bool
+	memoUtil      float64
+	memoRandom    float64
+	memoWaitCoef  float64 // CongestionScale*q*rlFactor of the memoized tick
+	memoReqs      []Request
+	memoGrants    []Grant // WaitMs fields unused; recomputed per tick
+}
+
+// memoizeOff disables the steady-state memo package-wide when set; the
+// zero value (enabled) is the normal operating mode. Atomic so tests can
+// flip modes without racing live disks.
+var memoizeOff atomic.Bool
+
+// SetDefaultMemoize toggles the package-wide steady-state memo and
+// returns the previous setting. Both settings produce bit-for-bit
+// identical grants — the memoized path replays the same jitter draws and
+// evaluates the same wait expression — so the toggle exists only for
+// equivalence tests and benchmarking the unmemoized path.
+func SetDefaultMemoize(enabled bool) bool {
+	return !memoizeOff.Swap(!enabled)
+}
+
+// requestsEqual reports element-wise equality of two request vectors.
+func requestsEqual(a, b []Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // New creates a device with the given config and random stream.
@@ -187,6 +233,9 @@ func (d *Disk) Allocate(tickSec float64, reqs []Request) []Grant {
 func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Grant {
 	if tickSec <= 0 {
 		panic("disk: nonpositive tick")
+	}
+	if d.memoValid && !memoizeOff.Load() && tickSec == d.memoTick && requestsEqual(reqs, d.memoReqs) {
+		return d.allocateSteady(dst)
 	}
 	base := len(dst)
 	seekCost := 1 / d.cfg.IOPSCapacity
@@ -252,6 +301,7 @@ func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Gran
 			dst = append(dst, Grant{ClientID: id})
 		}
 		d.jitter.GC(d.keep)
+		d.saveMemo(tickSec, reqs, dst[base:], 0)
 		return dst
 	}
 
@@ -305,6 +355,7 @@ func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Gran
 	// both large and uneven (per-client AR(1) luck).
 	q := queueIntensity(util, d.cfg.MaxQueueFactor)
 	rlFactor := d.cfg.BaselineWaitFactor + math.Min(1, d.cfg.RandomWaitScale*randomLoad)
+	waitCoef := d.cfg.CongestionScale * q * rlFactor
 	if d.keep == nil {
 		d.keep = make(map[string]bool, len(reqs))
 	}
@@ -317,10 +368,49 @@ func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Gran
 		if luck < 0 {
 			luck = 0
 		}
-		waitPerOp := d.cfg.BaseLatencyMs * (1 + d.cfg.CongestionScale*q*rlFactor*luck)
+		waitPerOp := d.cfg.BaseLatencyMs * (1 + waitCoef*luck)
 		grants[i].WaitMs = grants[i].Ops * waitPerOp
 	}
 	d.jitter.GC(d.keep)
+	d.saveMemo(tickSec, reqs, grants, waitCoef)
+	return dst
+}
+
+// saveMemo snapshots the inputs, grants and derived device state of a
+// fully solved tick so an identical next tick can skip everything but
+// the queueing-delay draws.
+func (d *Disk) saveMemo(tickSec float64, reqs []Request, grants []Grant, waitCoef float64) {
+	d.memoTick = tickSec
+	d.memoQuiescent = d.lastQuiescent
+	d.memoUtil = d.lastUtilization
+	d.memoRandom = d.lastRandomLoad
+	d.memoWaitCoef = waitCoef
+	d.memoReqs = append(d.memoReqs[:0], reqs...)
+	d.memoGrants = append(d.memoGrants[:0], grants...)
+	d.memoValid = true
+}
+
+// allocateSteady serves a tick whose request vector repeats the memoized
+// one: the cached Ops/Bytes grants and wait coefficient are reused, and
+// only the per-client luck draw — per-tick state by design — and the
+// WaitMs it scales are evaluated. The draws happen in request order, as
+// both full paths (quiescent and busy) do, so the seeded stream position
+// is identical; the keep-set GC is skipped, a no-op after an unchanged
+// tick.
+func (d *Disk) allocateSteady(dst []Grant) []Grant {
+	d.lastQuiescent = d.memoQuiescent
+	d.lastUtilization = d.memoUtil
+	d.lastRandomLoad = d.memoRandom
+	for i := range d.memoGrants {
+		g := d.memoGrants[i]
+		luck := 1 + d.jitter.Step(g.ClientID)
+		if luck < 0 {
+			luck = 0
+		}
+		waitPerOp := d.cfg.BaseLatencyMs * (1 + d.memoWaitCoef*luck)
+		g.WaitMs = g.Ops * waitPerOp
+		dst = append(dst, g)
+	}
 	return dst
 }
 

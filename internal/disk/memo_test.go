@@ -1,0 +1,75 @@
+package disk
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// setMemoize flips the package memo default and restores it on cleanup.
+func setMemoize(t *testing.T, enabled bool) {
+	t.Helper()
+	prev := SetDefaultMemoize(enabled)
+	t.Cleanup(func() { SetDefaultMemoize(prev) })
+}
+
+// memoTickSeq drives one disk through steady busy ticks (steady-path
+// hits), a demand change, a throttle-cap change, and a quiescent stretch,
+// recording every grant including WaitMs. WaitMs depends on the
+// per-client AR(1) draw of each tick, so any difference in how many draws
+// the steady path consumes shows up as a divergence here.
+func memoTickSeq(d *Disk) [][]Grant {
+	reqs := []Request{
+		{ClientID: "seq", Ops: 40, Bytes: 40 * (256 << 10)},
+		{ClientID: "rand", Ops: 800, Bytes: 800 * 4096},
+		{ClientID: "idle"},
+	}
+	var out [][]Grant
+	record := func() {
+		out = append(out, append([]Grant(nil), d.Allocate(0.1, reqs)...))
+	}
+	for i := 0; i < 6; i++ {
+		record()
+	}
+	reqs[1].Ops = 600
+	reqs[1].Bytes = 600 * 4096
+	for i := 0; i < 4; i++ {
+		record()
+	}
+	reqs[1].CapIOPS = 2000
+	for i := 0; i < 4; i++ {
+		record()
+	}
+	reqs[0] = Request{ClientID: "seq"}
+	reqs[1] = Request{ClientID: "rand"}
+	for i := 0; i < 3; i++ {
+		record()
+	}
+	return out
+}
+
+func TestMemoizationMatchesFullAllocate(t *testing.T) {
+	setMemoize(t, true)
+	memo := memoTickSeq(New(DefaultConfig(), rand.New(rand.NewSource(21))))
+
+	setMemoize(t, false)
+	full := memoTickSeq(New(DefaultConfig(), rand.New(rand.NewSource(21))))
+
+	if !reflect.DeepEqual(memo, full) {
+		t.Fatalf("steady-path grants diverge from full solve:\nmemo: %v\nfull: %v", memo, full)
+	}
+}
+
+func TestSteadyPathRefreshesWaitMs(t *testing.T) {
+	setMemoize(t, true)
+	d := New(DefaultConfig(), rand.New(rand.NewSource(22)))
+	reqs := []Request{{ClientID: "rand", Ops: 800, Bytes: 800 * 4096}}
+	first := d.Allocate(0.1, reqs)
+	second := d.Allocate(0.1, reqs)
+	if first[0].Ops != second[0].Ops || first[0].Bytes != second[0].Bytes {
+		t.Fatalf("steady tick changed the solved shares: %v vs %v", first, second)
+	}
+	if first[0].WaitMs == second[0].WaitMs {
+		t.Fatal("steady tick reused WaitMs; the luck draw is per-tick state and must be fresh")
+	}
+}

@@ -190,6 +190,15 @@ type Executor struct {
 	// through cluster.Workload.
 	lastNow float64
 
+	// epoch implements cluster.DemandEpocher: it advances whenever the
+	// next Demand call could return something different — an attempt
+	// launched, removed or retired, or a surviving attempt whose per-tick
+	// demand components moved (I/O taper near completion, the instruction
+	// gate opening or closing). While it holds still, a fluid-model task
+	// mix demands at constant rates and the server may reuse its cached
+	// request vectors.
+	epoch uint64
+
 	// Reused per-Advance scratch; an executor is advanced by exactly one
 	// goroutine per tick, so plain fields suffice.
 	ios  []float64
@@ -220,6 +229,9 @@ func (e *Executor) SyncClock(nowSec float64) { e.lastNow = nowSec }
 
 // Name implements cluster.Workload.
 func (e *Executor) Name() string { return "executor/" + e.vm.ID() }
+
+// DemandEpoch implements cluster.DemandEpocher.
+func (e *Executor) DemandEpoch() uint64 { return e.epoch }
 
 // FreeSlots returns the number of unoccupied task slots.
 func (e *Executor) FreeSlots() int { return e.slots - len(e.running) }
@@ -256,6 +268,7 @@ func (e *Executor) launch(t *Task, nowSec float64, speculative bool) *Attempt {
 	}
 	t.attempts = append(t.attempts, a)
 	e.running = append(e.running, a)
+	e.epoch++
 	return a
 }
 
@@ -264,6 +277,7 @@ func (e *Executor) remove(a *Attempt) {
 	for i, r := range e.running {
 		if r == a {
 			e.running = append(e.running[:i], e.running[i+1:]...)
+			e.epoch++
 			return
 		}
 	}
@@ -365,6 +379,7 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 	}
 	// Retire completed attempts after the whole tick is applied, filtering
 	// in place to keep the backing array.
+	nRan := len(e.running)
 	still := e.running[:0]
 	endSec := e.lastNow + tickSec
 	for _, a := range e.running {
@@ -380,6 +395,22 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 	}
 	e.running = still
 	e.lastNow = endSec
+
+	// Bump the demand epoch if the next tick's demand differs from this
+	// one's: the running set shrank, or a survivor's demand components
+	// moved off the values captured before progress was applied (ios/cpus
+	// are index-aligned with the survivors when nothing retired).
+	if len(e.running) != nRan {
+		e.epoch++
+		return
+	}
+	for i, a := range e.running {
+		io, cpu := attemptDemand(a, tickSec)
+		if io != ios[i] || cpu != cpus[i] {
+			e.epoch++
+			return
+		}
+	}
 }
 
 // Done implements cluster.Workload; executors are persistent services.

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/cpu"
+	"perfcloud/internal/disk"
+	"perfcloud/internal/memsys"
+	"perfcloud/internal/sim"
+)
+
+// setFastPaths forces every steady-state fast path introduced for busy
+// servers — the cluster's demand-epoch reuse and the three allocators'
+// input memos — on or off for the duration of a test.
+func setFastPaths(t *testing.T, enabled bool) {
+	t.Helper()
+	prevReuse := cluster.SetDefaultDemandReuse(enabled)
+	prevCPU := cpu.SetDefaultMemoize(enabled)
+	prevMem := memsys.SetDefaultMemoize(enabled)
+	prevDisk := disk.SetDefaultMemoize(enabled)
+	t.Cleanup(func() {
+		cluster.SetDefaultDemandReuse(prevReuse)
+		cpu.SetDefaultMemoize(prevCPU)
+		memsys.SetDefaultMemoize(prevMem)
+		disk.SetDefaultMemoize(prevDisk)
+	})
+}
+
+// TestMemoizationMatchesFullPipeline is the determinism contract of the
+// steady-state fast paths: reusing a server's request vectors while no
+// VM's demand epoch moved, returning the CPU and memory allocators'
+// cached grants on repeated inputs, and reusing the disk's solved shares
+// must all produce results bit-for-bit identical to re-solving every
+// tick. The scenarios run busy phases (steady hits), demand flips
+// (invalidation), throttling (cap changes outside MarkDirty) and idle
+// stretches (interaction with quiescence).
+func TestMemoizationMatchesFullPipeline(t *testing.T) {
+	const s = seed
+
+	smallVariability := VariabilityConfig{
+		Seed:             s,
+		Servers:          3,
+		WorkersPerServer: 6,
+		Runs:             3,
+		Fio:              2,
+		Streams:          2,
+		Tasks:            18,
+		Limit:            time.Hour,
+	}
+	mix := smallMix()
+	mix.NumMR, mix.NumSpark = 4, 4
+
+	cases := []struct {
+		name string
+		run  func() any
+	}{
+		{"Fig3", func() any { return Fig3(s) }},
+		{"Fig11", func() any { return Fig11With(mix, []Scheme{SchemeLATE()}) }},
+		{"Fig12", func() any { return Fig12With(smallVariability, []Scheme{SchemeLATE(), SchemePerfCloud()}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setFastPaths(t, false)
+			full := tc.run()
+
+			setFastPaths(t, true)
+			memo := tc.run()
+
+			if !reflect.DeepEqual(full, memo) {
+				t.Errorf("memoized result differs from full pipeline:\nfull: %+v\nmemo: %+v", full, memo)
+			}
+		})
+	}
+}
+
+// TestSharedPoolBoundsWorkers runs concurrent experiment repetitions —
+// each ticking a multi-server cluster through the parallel grant phase —
+// and asserts the process-wide slot pool never hands out more slots than
+// it has: total concurrent workers stay at or below GOMAXPROCS (the pool
+// capacity plus the one root goroutine). `make race` runs this under the
+// race detector, exercising the pool's acquire/release paths.
+func TestSharedPoolBoundsWorkers(t *testing.T) {
+	pool := sim.SharedPool()
+	pool.ResetPeak()
+
+	prev := SetMaxParallelRuns(0) // automatic: as many repetition workers as allowed
+	t.Cleanup(func() { SetMaxParallelRuns(prev) })
+
+	cfg := VariabilityConfig{
+		Seed:             seed,
+		Servers:          3,
+		WorkersPerServer: 6,
+		Runs:             6,
+		Fio:              2,
+		Streams:          2,
+		Tasks:            18,
+		Limit:            time.Hour,
+	}
+	Fig12With(cfg, []Scheme{SchemeLATE()})
+
+	if peak, capacity := pool.PeakInUse(), pool.Capacity(); peak > capacity {
+		t.Fatalf("pool handed out %d slots, capacity %d: worker fan-outs multiplied", peak, capacity)
+	}
+	if used := pool.InUse(); used != 0 {
+		t.Fatalf("%d slots still held after the suite finished", used)
+	}
+}

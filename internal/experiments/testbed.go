@@ -208,6 +208,7 @@ func (tb *Testbed) CapAntagonistIOPS(name string, frac, soloIOPS float64) {
 		panic(fmt.Sprintf("experiments: no antagonist %q", name))
 	}
 	vm.Cgroup().SetReadIOPS(frac * soloIOPS)
+	vm.Server().MarkDirty()
 }
 
 // CapAntagonistCPU applies a static CPU quota, frac relative to the
@@ -218,6 +219,7 @@ func (tb *Testbed) CapAntagonistCPU(name string, frac float64) {
 		panic(fmt.Sprintf("experiments: no antagonist %q", name))
 	}
 	vm.Cgroup().SetCPUCores(frac * vm.VCPUs())
+	vm.Server().MarkDirty()
 }
 
 // ObserverConfig returns a PerfCloud config that records the detection

@@ -40,10 +40,16 @@ func (h *Hypervisor) PlacementEpoch() uint64 { return h.server.PlacementEpoch() 
 // ListDomains returns the ids of all VMs on the server.
 func (h *Hypervisor) ListDomains() []string {
 	out := make([]string, 0, h.server.NumVMs())
-	h.server.EachVM(func(v *cluster.VM) {
-		out = append(out, v.ID())
-	})
+	h.EachDomain(func(id string) { out = append(out, id) })
 	return out
+}
+
+// EachDomain calls fn once per domain id in placement order — the
+// non-allocating ListDomains for callers that run every interval.
+func (h *Hypervisor) EachDomain(fn func(id string)) {
+	h.server.EachVM(func(v *cluster.VM) {
+		fn(v.ID())
+	})
 }
 
 // EachDomainStats calls fn once per domain, in placement order, with the

@@ -1,0 +1,85 @@
+package memsys
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// setMemoize flips the package memo default and restores it on cleanup.
+func setMemoize(t *testing.T, enabled bool) {
+	t.Helper()
+	prev := SetDefaultMemoize(enabled)
+	t.Cleanup(func() { SetDefaultMemoize(prev) })
+}
+
+// memoTickSeq drives one system through uncongested steady ticks (memo
+// hits), an input change, a congested stretch (the memo must decline),
+// and a quiescent stretch, recording every result. The post-change ticks
+// double as a jitter-stream-position check: if the memoized path consumed
+// a different number of draws, every later luck factor diverges.
+func memoTickSeq(s *System) [][]Result {
+	reqs := []Request{
+		{ClientID: "a", CPUSeconds: 0.1, CoreCPI: 1.0, LLCRefsPerInstr: 0.01, BytesPerInstr: 0.5, WorkingSetBytes: 8 << 20},
+		{ClientID: "b", CPUSeconds: 0.2, CoreCPI: 0.8, LLCRefsPerInstr: 0.05, BytesPerInstr: 1.0, WorkingSetBytes: 64 << 20},
+		{ClientID: "idle", CPUSeconds: 0},
+	}
+	var out [][]Result
+	record := func() {
+		out = append(out, append([]Result(nil), s.Compute(0.1, reqs)...))
+	}
+	for i := 0; i < 6; i++ {
+		record()
+	}
+	reqs[0].CPUSeconds = 0.15
+	for i := 0; i < 4; i++ {
+		record()
+	}
+	// Saturate bandwidth: pressure > 1 makes results luck-dependent, so
+	// the memo must fall through to the full solve every tick.
+	reqs[1].BytesPerInstr = 50
+	reqs[1].CPUSeconds = 0.8
+	for i := 0; i < 4; i++ {
+		record()
+	}
+	// Back below saturation, then fully quiescent.
+	reqs[1].BytesPerInstr = 1.0
+	for i := 0; i < 3; i++ {
+		record()
+	}
+	for i := range reqs {
+		reqs[i].CPUSeconds = 0
+	}
+	for i := 0; i < 3; i++ {
+		record()
+	}
+	return out
+}
+
+func TestMemoizationMatchesFullCompute(t *testing.T) {
+	setMemoize(t, true)
+	memo := memoTickSeq(New(DefaultConfig(), rand.New(rand.NewSource(11))))
+
+	setMemoize(t, false)
+	full := memoTickSeq(New(DefaultConfig(), rand.New(rand.NewSource(11))))
+
+	if !reflect.DeepEqual(memo, full) {
+		t.Fatalf("memoized results diverge from full compute:\nmemo: %v\nfull: %v", memo, full)
+	}
+}
+
+func TestMemoDeclinesUnderCongestion(t *testing.T) {
+	setMemoize(t, true)
+	s := New(DefaultConfig(), rand.New(rand.NewSource(12)))
+	reqs := []Request{
+		{ClientID: "hog", CPUSeconds: 0.8, CoreCPI: 0.7, LLCRefsPerInstr: 0.15, BytesPerInstr: 50, WorkingSetBytes: 16 << 30},
+	}
+	first := s.Compute(0.1, reqs)
+	if s.Pressure() <= 1 {
+		t.Fatalf("want congestion, pressure = %v", s.Pressure())
+	}
+	second := s.Compute(0.1, reqs)
+	if first[0].CPI == second[0].CPI {
+		t.Fatal("congested repeat tick returned identical CPI: memo served a luck-dependent result")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"perfcloud/internal/sim"
 )
@@ -110,6 +111,47 @@ type System struct {
 	shares       []float64
 	weights      []float64
 	wants        []float64
+
+	// Input memo: with bandwidth pressure at or below capacity the model
+	// is a pure function of (tickSec, reqs) — the per-VM AR(1) luck factor
+	// multiplies a congestion term that is zero — so a tick repeating last
+	// tick's inputs can return the cached results, replaying only the
+	// jitter draws to keep the seeded stream position identical. Under
+	// congestion (cached pressure > 1) the luck factors feed the results
+	// and the memo declines the hit.
+	memoValid    bool
+	memoTick     float64
+	memoPressure float64
+	memoReqs     []Request
+	memoResults  []Result
+	memoStep     []string // client ids whose jitter the memoized tick stepped, in order
+}
+
+// memoizeOff disables the input memo package-wide when set; the zero
+// value (enabled) is the normal operating mode. Atomic so tests can flip
+// modes without racing live systems.
+var memoizeOff atomic.Bool
+
+// SetDefaultMemoize toggles the package-wide input memo and returns the
+// previous setting. Both settings produce bit-for-bit identical results
+// and leave the seeded jitter stream in the identical position — the
+// toggle exists only for equivalence tests and benchmarking the
+// unmemoized path.
+func SetDefaultMemoize(enabled bool) bool {
+	return !memoizeOff.Swap(!enabled)
+}
+
+// requestsEqual reports element-wise equality of two request vectors.
+func requestsEqual(a, b []Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // New creates a memory system with the given config and random stream.
@@ -147,6 +189,18 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 	if tickSec <= 0 {
 		panic("memsys: nonpositive tick")
 	}
+	if s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick &&
+		s.memoPressure <= 1 && requestsEqual(reqs, s.memoReqs) {
+		// Steady state, uncongested: the luck factors multiply a zero
+		// congestion term, so identical inputs produce identical results.
+		// The draws the full path would have consumed are still replayed —
+		// the stream position is part of the model's observable state — and
+		// the keep-set GC is skipped, a no-op after an unchanged tick.
+		for _, id := range s.memoStep {
+			s.jitter.Step(id)
+		}
+		return append(dst, s.memoResults...)
+	}
 
 	// Nominal instruction rate (at core CPI) determines both LLC occupancy
 	// weight and bandwidth demand. Using the stall-free rate here keeps the
@@ -181,6 +235,7 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		}
 	}
 	s.lastQuiescent = !anyActive
+	base := len(dst)
 	if !anyActive {
 		s.lastPressure = 0
 		if s.keep == nil {
@@ -192,6 +247,8 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 			dst = append(dst, Result{ClientID: r.ClientID})
 		}
 		s.jitter.GC(s.keep)
+		s.memoStep = s.memoStep[:0]
+		s.saveMemo(tickSec, reqs, dst[base:])
 		return dst
 	}
 
@@ -209,6 +266,7 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		s.keep = make(map[string]bool, len(reqs))
 	}
 	clear(s.keep)
+	s.memoStep = s.memoStep[:0]
 	for i, r := range reqs {
 		s.keep[r.ClientID] = true
 		res := Result{ClientID: r.ClientID}
@@ -218,6 +276,7 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		}
 		res.MissRate = missRate(r.WorkingSetBytes, shares[i])
 
+		s.memoStep = append(s.memoStep, r.ClientID)
 		j := s.jitter.Step(r.ClientID)
 		luck := 1 + j
 		if luck < 0 {
@@ -234,7 +293,19 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		dst = append(dst, res)
 	}
 	s.jitter.GC(s.keep)
+	s.saveMemo(tickSec, reqs, dst[base:])
 	return dst
+}
+
+// saveMemo snapshots the inputs and results of a fully computed tick
+// (the caller has already recorded the stepped clients in memoStep) so
+// an identical, uncongested next tick can skip the solve.
+func (s *System) saveMemo(tickSec float64, reqs []Request, results []Result) {
+	s.memoTick = tickSec
+	s.memoPressure = s.lastPressure
+	s.memoReqs = append(s.memoReqs[:0], reqs...)
+	s.memoResults = append(s.memoResults[:0], results...)
+	s.memoValid = true
 }
 
 // llcShares partitions the cache between clients by water-filling on

@@ -74,6 +74,14 @@ type Benchmark struct {
 	elapsed    time.Duration // simulated wall time observed via Advance
 	activeSecs float64       // seconds spent in "on" phases
 
+	// epoch implements cluster.DemandEpocher: it advances whenever the
+	// next Demand call could return something different. A benchmark's
+	// demand is its constant profile gated by Active(), so the epoch moves
+	// exactly on burst-phase flips, on completion (a limit reached) and on
+	// SetLimits; between flips a server may reuse its cached request
+	// vectors.
+	epoch uint64
+
 	totalOps      float64
 	totalBytes    float64
 	totalInstr    float64
@@ -97,7 +105,13 @@ func (w *Benchmark) Name() string { return w.name }
 
 // SetLimits replaces the benchmark's termination limits (e.g. to give an
 // endless antagonist a finite amount of work mid-experiment).
-func (w *Benchmark) SetLimits(l Limits) { w.limits = l }
+func (w *Benchmark) SetLimits(l Limits) {
+	w.limits = l
+	w.epoch++ // may flip Done and hence Active
+}
+
+// DemandEpoch implements cluster.DemandEpocher.
+func (w *Benchmark) DemandEpoch() uint64 { return w.epoch }
 
 // Active reports whether the benchmark is currently in an "on" phase.
 func (w *Benchmark) Active() bool { return w.pattern.active(w.elapsed) && !w.Done() }
@@ -121,7 +135,8 @@ func (w *Benchmark) Demand(tickSec float64) cluster.Demand {
 
 // Advance implements cluster.Workload.
 func (w *Benchmark) Advance(tickSec float64, g cluster.Grant) {
-	if w.Active() {
+	wasActive := w.Active()
+	if wasActive {
 		w.activeSecs += tickSec
 	}
 	w.elapsed += time.Duration(tickSec * float64(time.Second))
@@ -131,6 +146,9 @@ func (w *Benchmark) Advance(tickSec float64, g cluster.Grant) {
 	w.totalMemBytes += g.MemBytes
 	w.totalCPUSecs += g.CPUSeconds
 	w.totalWaitMs += g.IOWaitMs
+	if w.Active() != wasActive {
+		w.epoch++ // burst-phase flip or a limit reached: demand changed
+	}
 }
 
 // Done implements cluster.Workload.
