@@ -10,10 +10,12 @@ test:
 	go test ./...
 
 # race runs the detector over the packages with concurrent code paths:
-# the parallel tick fan-out, the experiment run pool, and the primitive
-# they share.
+# the parallel tick fan-out, the experiment run pool, the primitive they
+# share, the control plane whose instruments are updated from ticking
+# goroutines, and the observability package itself.
 race:
-	go test -race ./internal/cluster/... ./internal/sim/... ./internal/experiments/...
+	go test -race ./internal/cluster/... ./internal/sim/... \
+		./internal/experiments/... ./internal/core/... ./internal/obs/...
 
 # check is the full local gate: vet, build, tests, and the race tier.
 # Benchmarks are tracked separately — run `make bench` to measure the

@@ -10,12 +10,16 @@
 //
 // With -baseline FILE it additionally prints a per-benchmark comparison
 // of the parsed results against the baseline JSON, so a pipeline like
-// `make bench-compare` shows regressions inline.
+// `make bench-compare` shows regressions inline. Adding -max-regress PCT
+// turns the comparison into a gate: benchjson exits non-zero if any
+// benchmark's ns/op is more than PCT percent above its baseline or its
+// allocs/op grew — the CI guard for the monitoring hot loops.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
 //	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json
+//	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json -max-regress 5
 package main
 
 import (
@@ -31,7 +35,11 @@ import (
 func main() {
 	out := flag.String("o", "", "JSON file to merge results into (default stdout, suppressing the echo)")
 	baseline := flag.String("baseline", "", "baseline JSON file to diff the parsed results against")
+	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit non-zero if any ns/op regressed by more than this percentage (0 = report only)")
 	flag.Parse()
+	if *maxRegress != 0 && *baseline == "" {
+		fatal(fmt.Errorf("-max-regress requires -baseline"))
+	}
 
 	echo := *out != "" || *baseline != ""
 	var results []benchfmt.Result
@@ -62,6 +70,16 @@ func main() {
 		fmt.Printf("\nvs %s:\n", *baseline)
 		for _, r := range results {
 			fmt.Println(" ", benchfmt.FormatDelta(byName[r.Name], r))
+		}
+		if *maxRegress != 0 {
+			if msgs := benchfmt.Regressions(base, results, *maxRegress); len(msgs) > 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: regressions over threshold:")
+				for _, m := range msgs {
+					fmt.Fprintln(os.Stderr, "  "+m)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("all benchmarks within %+.1f%% of baseline\n", *maxRegress)
 		}
 	}
 

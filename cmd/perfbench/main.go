@@ -6,7 +6,7 @@
 // Usage:
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
-//	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE] [-fastpaths]
 //
 // -parallel bounds both concurrency layers — per-server tick work inside a
 // cluster and independent experiment repetitions. 0 (the default) uses
@@ -53,9 +53,13 @@ func main() {
 	suitejson := flag.String("suitejson", "BENCH_suite.json", "file to merge -suite timings into")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	fastpaths := flag.Bool("fastpaths", false, "print the simulation's cumulative fast-path hit-rate counters after the run")
 	flag.Parse()
 	cluster.SetDefaultTickWorkers(*parallel)
 	experiments.SetMaxParallelRuns(*parallel)
+	if *fastpaths {
+		experiments.SetTrackFastPaths(true)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -243,5 +247,30 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "perfbench: wrote", *suitejson)
 	}
+	if *fastpaths {
+		printFastPaths(os.Stderr)
+	}
 	fmt.Fprintf(os.Stderr, "perfbench: done in %v\n", elapsed.Round(time.Millisecond))
+}
+
+// printFastPaths reports how much simulation work the fast paths
+// absorbed across every testbed the run built: the share of grant-phase
+// ticks skipped (quiescence) or reusing demand vectors, and the per-
+// resource allocator input-memo hit rates.
+func printFastPaths(w *os.File) {
+	fp := experiments.FastPathTotals()
+	rate := func(hit, miss uint64) float64 {
+		if hit+miss == 0 {
+			return 0
+		}
+		return 100 * float64(hit) / float64(hit+miss)
+	}
+	ticks := fp.QuiescentSkips + fp.SteadyReuses + fp.Rebuilds
+	fmt.Fprintf(w, "fastpaths: %d grant-phase ticks: %d skipped (%.1f%%), %d reused (%.1f%%), %d rebuilt\n",
+		ticks, fp.QuiescentSkips, rate(fp.QuiescentSkips, fp.SteadyReuses+fp.Rebuilds),
+		fp.SteadyReuses, rate(fp.SteadyReuses, fp.QuiescentSkips+fp.Rebuilds), fp.Rebuilds)
+	fmt.Fprintf(w, "fastpaths: allocator memo hit rates: cpu %.1f%% (%d/%d), mem %.1f%% (%d/%d), disk %.1f%% (%d/%d)\n",
+		rate(fp.CPUMemoHits, fp.CPUMemoMisses), fp.CPUMemoHits, fp.CPUMemoHits+fp.CPUMemoMisses,
+		rate(fp.MemMemoHits, fp.MemMemoMisses), fp.MemMemoHits, fp.MemMemoHits+fp.MemMemoMisses,
+		rate(fp.DiskMemoHits, fp.DiskMemoMisses), fp.DiskMemoHits, fp.DiskMemoHits+fp.DiskMemoMisses)
 }

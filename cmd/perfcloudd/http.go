@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"perfcloud/internal/obs"
+)
+
+// daemonServer exposes a running (or finished) daemon's observability
+// state over HTTP: Prometheus text on /metrics, the decision audit
+// log's retained tail on /debug/events, and the simulation's fast-path
+// accounting on /debug/fastpaths. All three are safe to serve while
+// the simulation is stepping: the registry and ring are internally
+// synchronized, and the fast-path snapshot is replaced under mu by the
+// run loop's OnInterval hook rather than read live from the cluster.
+type daemonServer struct {
+	reg  *obs.Registry
+	ring *obs.Ring
+
+	mu   sync.Mutex
+	fast obs.FastPathSnapshot
+}
+
+func newDaemonServer(reg *obs.Registry, ring *obs.Ring) *daemonServer {
+	return &daemonServer{reg: reg, ring: ring}
+}
+
+// setFastPaths is the runConfig.OnInterval hook.
+func (s *daemonServer) setFastPaths(fp obs.FastPathSnapshot) {
+	s.mu.Lock()
+	s.fast = fp
+	s.mu.Unlock()
+}
+
+func (s *daemonServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/events", s.serveEvents)
+	mux.HandleFunc("/debug/fastpaths", s.serveFastPaths)
+	return mux
+}
+
+func (s *daemonServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *daemonServer) serveEvents(w http.ResponseWriter, _ *http.Request) {
+	events := s.ring.Events()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Total    uint64      `json:"total"`
+		Retained int         `json:"retained"`
+		Events   []obs.Event `json:"events"`
+	}{Total: s.ring.Total(), Retained: len(events), Events: events})
+}
+
+func (s *daemonServer) serveFastPaths(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fp := s.fast
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fp)
+}

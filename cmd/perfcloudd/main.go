@@ -4,77 +4,84 @@
 // antagonist VMs, runs the agent, and logs every 5-second control
 // interval — detections, identified antagonists and the caps applied.
 //
+// With -http the daemon also exposes its control-plane observability:
+// a Prometheus /metrics endpoint, the typed decision audit log on
+// /debug/events, and the simulation's fast-path accounting on
+// /debug/fastpaths. -events appends the full audit log as JSONL.
+//
 // Usage:
 //
-//	perfcloudd [-duration 3m] [-seed N]
+//	perfcloudd [-duration 3m] [-seed N] [-http :8080] [-events out.jsonl]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"os"
+
 	"time"
 
-	"perfcloud/internal/experiments"
-	"perfcloud/internal/mapreduce"
-	"perfcloud/internal/workloads"
+	"perfcloud/internal/obs"
 )
 
 func main() {
 	duration := flag.Duration("duration", 3*time.Minute, "simulated runtime")
 	seed := flag.Int64("seed", 42, "random seed")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/events and /debug/fastpaths on this address (e.g. :8080)")
+	eventsPath := flag.String("events", "", "write the decision audit log as JSONL to this file")
 	flag.Parse()
 
-	tb := experiments.NewTestbed(experiments.TestbedConfig{
-		Seed:      *seed,
-		PerfCloud: experiments.ControllerConfig(),
-	})
-	tb.MustInput("input", 640<<20)
-	tb.AddAntagonist(0, workloads.NewFioRandRead(
-		workloads.BurstPattern{StartOffset: 10 * time.Second, On: 20 * time.Second, Off: 10 * time.Second}))
-	tb.AddAntagonist(0, workloads.NewSysbenchOLTP(workloads.AlwaysOn))
-	tb.AddAntagonist(0, workloads.NewSysbenchCPU(workloads.AlwaysOn))
+	cfg := runConfig{Duration: *duration, Seed: *seed, Log: os.Stdout}
 
-	fmt.Println("perfcloudd: node manager online (server-0), monitoring interval 5s")
-	fmt.Println("perfcloudd: high-priority app 'hadoop' (6 VMs); low-priority: fio-randread, sysbench-oltp, sysbench-cpu")
-
-	// Keep a terasort stream running while the daemon manages the server.
-	var doneFn func() bool
-	submit := func() {
-		j, err := tb.JT.Submit(mapreduce.Terasort("input", 10), tb.Eng.Clock().Seconds())
+	var sinks obs.MultiSink
+	var jsonl *obs.JSONLSink
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, "perfcloudd:", err)
+			os.Exit(1)
 		}
-		doneFn = j.Done
+		eventsFile = f
+		jsonl = obs.NewJSONLSink(f)
+		sinks = append(sinks, jsonl)
 	}
-	submit()
 
-	logged := 0
-	nm := tb.Sys.Managers()[0]
-	ticks := int64(*duration / tb.Eng.Clock().TickSize())
-	for i := int64(0); i < ticks; i++ {
-		tb.Eng.Step()
-		if doneFn() {
-			fmt.Printf("[%7.1fs] hadoop: terasort finished, resubmitting\n", tb.Eng.Clock().Seconds())
-			submit()
+	var srv *daemonServer
+	if *httpAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv = newDaemonServer(cfg.Metrics, obs.NewRing(4096))
+		sinks = append(sinks, srv.ring)
+		cfg.OnInterval = srv.setFastPaths
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfcloudd:", err)
+			os.Exit(1)
 		}
-		trace := nm.Trace()
-		for ; logged < len(trace); logged++ {
-			e := trace[logged]
-			switch {
-			case len(e.IOAntagonists)+len(e.CPUAntagonists) > 0:
-				fmt.Printf("[%7.1fs] CONTENTION iowaitDev=%.1f cpiDev=%.2f -> antagonists io=%v cpu=%v\n",
-					e.TimeSec, e.IowaitDev, e.CPIDev, e.IOAntagonists, e.CPUAntagonists)
-			case e.IOContention || e.CPUContention:
-				fmt.Printf("[%7.1fs] contention detected (iowaitDev=%.1f cpiDev=%.2f), identifying...\n",
-					e.TimeSec, e.IowaitDev, e.CPIDev)
-			}
-			for vm, cap := range e.IOCaps {
-				fmt.Printf("[%7.1fs]   blkio throttle %s -> %.0f IOPS\n", e.TimeSec, vm, cap)
-			}
-			for vm, cap := range e.CPUCaps {
-				fmt.Printf("[%7.1fs]   vcpu quota %s -> %.2f cores\n", e.TimeSec, vm, cap)
-			}
-		}
+		go http.Serve(ln, srv.handler())
+		fmt.Printf("perfcloudd: serving /metrics, /debug/events, /debug/fastpaths on http://%s\n", ln.Addr())
 	}
-	fmt.Printf("perfcloudd: shutting down after %v simulated\n", *duration)
+	if len(sinks) > 0 {
+		cfg.Events = sinks
+	}
+
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "perfcloudd:", err)
+		os.Exit(1)
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "perfcloudd: writing events:", err)
+			os.Exit(1)
+		}
+		eventsFile.Close()
+		fmt.Printf("perfcloudd: audit log written to %s\n", *eventsPath)
+	}
+	if srv != nil {
+		fmt.Println("perfcloudd: run complete; endpoints stay up, ctrl-c to exit")
+		select {}
+	}
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/core"
+	"perfcloud/internal/experiments"
+	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/obs"
+	"perfcloud/internal/workloads"
+)
+
+// runConfig parameterises one perfcloudd run. Metrics and Events are
+// the optional observability hooks (nil = off); Log receives the human
+// console lines.
+type runConfig struct {
+	Duration time.Duration
+	Seed     int64
+	Metrics  *obs.Registry
+	Events   obs.Sink
+	Log      io.Writer
+	// OnInterval, when non-nil, is called after every control interval
+	// with the cluster's cumulative fast-path snapshot — the hook the
+	// /debug/fastpaths endpoint reads through.
+	OnInterval func(obs.FastPathSnapshot)
+}
+
+// run executes the canonical perfcloudd scenario: one server hosting a
+// six-VM high-priority Hadoop cluster running back-to-back terasort,
+// plus a bursty fio-randread antagonist and two decoys, managed by the
+// PerfCloud agent. The whole loop is sequential, so with a given Seed
+// the emitted event stream is byte-identical across runs (asserted by
+// TestSameSeedRunsProduceIdenticalEventStreams).
+func run(cfg runConfig) error {
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	ctl := experiments.ControllerConfig()
+	ctl.Metrics = cfg.Metrics
+	ctl.Events = cfg.Events
+	tb := experiments.NewTestbed(experiments.TestbedConfig{
+		Seed:      cfg.Seed,
+		PerfCloud: ctl,
+	})
+	tb.MustInput("input", 640<<20)
+	tb.AddAntagonist(0, workloads.NewFioRandRead(
+		workloads.BurstPattern{StartOffset: 10 * time.Second, On: 20 * time.Second, Off: 10 * time.Second}))
+	tb.AddAntagonist(0, workloads.NewSysbenchOLTP(workloads.AlwaysOn))
+	tb.AddAntagonist(0, workloads.NewSysbenchCPU(workloads.AlwaysOn))
+
+	fmt.Fprintln(cfg.Log, "perfcloudd: node manager online (server-0), monitoring interval 5s")
+	fmt.Fprintln(cfg.Log, "perfcloudd: high-priority app 'hadoop' (6 VMs); low-priority: fio-randread, sysbench-oltp, sysbench-cpu")
+
+	// Daemon-level instruments: the throttle footprint plus the
+	// simulation's fast-path accounting, refreshed every control interval.
+	gCapped := cfg.Metrics.Gauge("perfcloud_capped_vms",
+		"VMs with any cgroup limit in force.")
+	gSkips := cfg.Metrics.Gauge("perfcloud_fastpath_quiescent_skips",
+		"Grant-phase ticks elided because the server was quiescent.")
+	gSteady := cfg.Metrics.Gauge("perfcloud_fastpath_steady_reuses",
+		"Grant phases that reused the previous demand vectors.")
+	gRebuilds := cfg.Metrics.Gauge("perfcloud_fastpath_rebuilds",
+		"Grant phases that rebuilt the demand vectors.")
+	memoHits := [3]*obs.Gauge{}
+	memoMisses := [3]*obs.Gauge{}
+	for i, res := range []string{"cpu", "mem", "disk"} {
+		l := obs.Label{Key: "res", Value: res}
+		memoHits[i] = cfg.Metrics.Gauge("perfcloud_alloc_memo_hits",
+			"Allocator input-memo hits.", l)
+		memoMisses[i] = cfg.Metrics.Gauge("perfcloud_alloc_memo_misses",
+			"Allocator input-memo misses.", l)
+	}
+
+	interval := ctl.IntervalSec
+	observe := func(now float64) {
+		fp := tb.Clus.FastPathStats()
+		gSkips.Set(float64(fp.QuiescentSkips))
+		gSteady.Set(float64(fp.SteadyReuses))
+		gRebuilds.Set(float64(fp.Rebuilds))
+		hits := [3]uint64{fp.CPUMemoHits, fp.MemMemoHits, fp.DiskMemoHits}
+		misses := [3]uint64{fp.CPUMemoMisses, fp.MemMemoMisses, fp.DiskMemoMisses}
+		for i := range hits {
+			memoHits[i].Set(float64(hits[i]))
+			memoMisses[i].Set(float64(misses[i]))
+		}
+		capped := 0
+		tb.Clus.EachVM(func(vm *cluster.VM) {
+			if vm.Cgroup().Throttle().Active() {
+				capped++
+			}
+		})
+		gCapped.Set(float64(capped))
+		if cfg.Events != nil {
+			cfg.Events.Emit(obs.Event{T: now, Type: obs.EventFastPaths, Fast: &fp})
+		}
+		if cfg.OnInterval != nil {
+			cfg.OnInterval(fp)
+		}
+	}
+
+	// Keep a terasort stream running while the daemon manages the server.
+	var doneFn func() bool
+	submit := func() error {
+		j, err := tb.JT.Submit(mapreduce.Terasort("input", 10), tb.Eng.Clock().Seconds())
+		if err != nil {
+			return err
+		}
+		doneFn = j.Done
+		return nil
+	}
+	if err := submit(); err != nil {
+		return err
+	}
+
+	logged := 0
+	nm := tb.Sys.Managers()[0]
+	ticks := int64(cfg.Duration / tb.Eng.Clock().TickSize())
+	nextObserve := interval
+	for i := int64(0); i < ticks; i++ {
+		tb.Eng.Step()
+		now := tb.Eng.Clock().Seconds()
+		if doneFn() {
+			fmt.Fprintf(cfg.Log, "[%7.1fs] hadoop: terasort finished, resubmitting\n", now)
+			if err := submit(); err != nil {
+				return err
+			}
+		}
+		if now >= nextObserve {
+			observe(now)
+			nextObserve += interval
+		}
+		trace := nm.Trace()
+		for ; logged < len(trace); logged++ {
+			logEntry(cfg.Log, trace[logged])
+		}
+	}
+	fmt.Fprintf(cfg.Log, "perfcloudd: shutting down after %v simulated\n", cfg.Duration)
+	return nil
+}
+
+// logEntry prints one control interval the way the daemon's journal
+// would, throttles in sorted VM order.
+func logEntry(w io.Writer, e core.TraceEntry) {
+	switch {
+	case len(e.IOAntagonists)+len(e.CPUAntagonists) > 0:
+		fmt.Fprintf(w, "[%7.1fs] CONTENTION iowaitDev=%.1f cpiDev=%.2f -> antagonists io=%v cpu=%v\n",
+			e.TimeSec, e.IowaitDev, e.CPIDev, e.IOAntagonists, e.CPUAntagonists)
+	case e.IOContention || e.CPUContention:
+		fmt.Fprintf(w, "[%7.1fs] contention detected (iowaitDev=%.1f cpiDev=%.2f), identifying...\n",
+			e.TimeSec, e.IowaitDev, e.CPIDev)
+	}
+	for _, vm := range sortedKeys(e.IOCaps) {
+		fmt.Fprintf(w, "[%7.1fs]   blkio throttle %s -> %.0f IOPS\n", e.TimeSec, vm, e.IOCaps[vm])
+	}
+	for _, vm := range sortedKeys(e.CPUCaps) {
+		fmt.Fprintf(w, "[%7.1fs]   vcpu quota %s -> %.2f cores\n", e.TimeSec, vm, e.CPUCaps[vm])
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

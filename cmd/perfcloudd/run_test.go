@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfcloud/internal/obs"
+)
+
+// runStream runs the daemon scenario with a JSONL sink and returns the
+// raw audit log.
+func runStream(t *testing.T, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	if err := run(runConfig{Duration: 3 * time.Minute, Seed: seed, Events: sink, Log: io.Discard}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSameSeedRunsProduceIdenticalEventStreams(t *testing.T) {
+	a := runStream(t, 42)
+	b := runStream(t, 42)
+	if len(a) == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !bytes.Equal(a, b) {
+		// Find the first differing line for a useful failure message.
+		la := strings.Split(string(a), "\n")
+		lb := strings.Split(string(b), "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("streams diverge at line %d:\n  a: %s\n  b: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("streams differ in length: %d vs %d lines", len(la), len(lb))
+	}
+}
+
+func TestAuditLogCoversTheDecisionPipeline(t *testing.T) {
+	stream := runStream(t, 42)
+	types := map[obs.EventType]int{}
+	sc := bufio.NewScanner(bytes.NewReader(stream))
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		types[e.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []obs.EventType{
+		obs.EventSample, obs.EventDetect, obs.EventIdentify,
+		obs.EventCap, obs.EventFastPaths,
+	} {
+		if types[want] == 0 {
+			t.Errorf("no %q events in audit log (got %v)", want, types)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := newDaemonServer(reg, obs.NewRing(4096))
+	err := run(runConfig{
+		Duration: 3 * time.Minute, Seed: 42,
+		Metrics: reg, Events: srv.ring,
+		OnInterval: srv.setFastPaths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	metrics := string(get("/metrics"))
+	for _, want := range []string{
+		"# TYPE perfcloud_intervals_total counter",
+		`perfcloud_intervals_total{server="server-0"}`,
+		"# TYPE perfcloud_iowait_dev histogram",
+		`perfcloud_cap_updates_total{res="io",server="server-0"}`,
+		"perfcloud_fastpath_steady_reuses",
+		"perfcloud_capped_vms",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var events struct {
+		Total    uint64      `json:"total"`
+		Retained int         `json:"retained"`
+		Events   []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if events.Total == 0 || events.Retained == 0 {
+		t.Fatalf("no events retained: %+v", events)
+	}
+	types := map[obs.EventType]bool{}
+	for _, e := range events.Events {
+		types[e.Type] = true
+	}
+	if !types[obs.EventDetect] || !types[obs.EventIdentify] || !types[obs.EventCap] {
+		t.Errorf("/debug/events missing decision types, got %v", types)
+	}
+
+	var fp obs.FastPathSnapshot
+	if err := json.Unmarshal(get("/debug/fastpaths"), &fp); err != nil {
+		t.Fatal(err)
+	}
+	if fp.SteadyReuses == 0 || fp.CPUMemoHits == 0 {
+		t.Errorf("fast-path snapshot looks empty: %+v", fp)
+	}
+}

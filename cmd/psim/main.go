@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"perfcloud/internal/core"
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/mapreduce"
 	"perfcloud/internal/spark"
@@ -117,7 +118,7 @@ func main() {
 	}
 
 	if tb.Sys != nil {
-		for _, nm := range tb.Sys.Managers() {
+		tb.Sys.EachManager(func(nm *core.NodeManager) {
 			throttles, detections := 0, 0
 			for _, e := range nm.Trace() {
 				if e.IOContention || e.CPUContention {
@@ -133,7 +134,7 @@ func main() {
 			}
 			fmt.Printf("%s: %d control intervals, %d with contention, %d with caps in force\n",
 				nm.ServerID(), len(nm.Trace()), detections, throttles)
-		}
+		})
 	}
 }
 

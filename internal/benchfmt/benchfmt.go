@@ -29,7 +29,10 @@ type Result struct {
 //
 //	BenchmarkName-8   12345   987.6 ns/op   512 B/op   7 allocs/op
 //
-// and reports whether the line was a benchmark result at all.
+// and reports whether the line was a benchmark result at all. The
+// trailing -N GOMAXPROCS suffix is stripped from the name so results
+// compare against baselines recorded on machines with different core
+// counts.
 func ParseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -39,7 +42,7 @@ func ParseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Count: count}
+	r := Result{Name: stripProcs(fields[0]), Count: count}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -55,6 +58,20 @@ func ParseLine(line string) (Result, bool) {
 		}
 	}
 	return r, true
+}
+
+// stripProcs removes a trailing -N GOMAXPROCS suffix from a benchmark
+// name ("BenchmarkFoo-8" -> "BenchmarkFoo"); sub-benchmark slashes and
+// interior dashes are untouched.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // Merge folds updates into base by benchmark name: an update replaces the
@@ -103,6 +120,37 @@ func WriteFile(path string, results []Result) error {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// Regressions compares cur against base and returns one message per
+// benchmark that regressed: ns/op more than maxPct percent above the
+// baseline, or an allocs/op increase (allocation regressions are never
+// within tolerance — the hot loops are supposed to be zero- or
+// fixed-alloc). Benchmarks absent from the baseline are ignored.
+func Regressions(base, cur []Result, maxPct float64) []string {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var out []string
+	for _, r := range cur {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 {
+			pct := (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			if pct > maxPct {
+				out = append(out, fmt.Sprintf("%s: %.6g ns/op is %+.1f%% vs baseline %.6g (max %+.1f%%)",
+					r.Name, r.NsPerOp, pct, b.NsPerOp, maxPct))
+			}
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			out = append(out, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return out
 }
 
 // FormatDelta renders a one-line comparison of cur against base, e.g.

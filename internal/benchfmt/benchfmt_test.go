@@ -3,6 +3,7 @@ package benchfmt
 import (
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -11,9 +12,16 @@ func TestParseLine(t *testing.T) {
 	if !ok {
 		t.Fatal("result line not recognized")
 	}
-	want := Result{Name: "BenchmarkMonitorSample-8", Count: 12345, NsPerOp: 987.6, BytesPerOp: 512, AllocsPerOp: 7}
+	want := Result{Name: "BenchmarkMonitorSample", Count: 12345, NsPerOp: 987.6, BytesPerOp: 512, AllocsPerOp: 7}
 	if r != want {
 		t.Fatalf("parsed %+v, want %+v", r, want)
+	}
+	// The GOMAXPROCS suffix is stripped, interior dashes are not.
+	if r, _ := ParseLine("BenchmarkFoo/sub-case-16 10 5 ns/op 0 B/op 0 allocs/op"); r.Name != "BenchmarkFoo/sub-case" {
+		t.Errorf("suffix strip: got %q", r.Name)
+	}
+	if r, _ := ParseLine("BenchmarkBare 10 5 ns/op 0 B/op 0 allocs/op"); r.Name != "BenchmarkBare" {
+		t.Errorf("bare name mangled: got %q", r.Name)
 	}
 	for _, line := range []string{
 		"goos: linux",
@@ -53,5 +61,32 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	out, err := ReadFile(path)
 	if err != nil || !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip: got %+v, %v", out, err)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	base := []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "B", NsPerOp: 2000, AllocsPerOp: 3},
+		{Name: "C", NsPerOp: 500, AllocsPerOp: 1},
+	}
+	cur := []Result{
+		{Name: "A", NsPerOp: 1040, AllocsPerOp: 0}, // +4%: within tolerance
+		{Name: "B", NsPerOp: 2300, AllocsPerOp: 3}, // +15%: over
+		{Name: "C", NsPerOp: 490, AllocsPerOp: 2},  // faster but allocs grew
+		{Name: "D", NsPerOp: 9999, AllocsPerOp: 9}, // no baseline: ignored
+	}
+	got := Regressions(base, cur, 5)
+	if len(got) != 2 {
+		t.Fatalf("Regressions = %v, want 2 messages", got)
+	}
+	if !strings.Contains(got[0], "B:") || !strings.Contains(got[0], "+15.0%") {
+		t.Errorf("ns/op regression message = %q", got[0])
+	}
+	if !strings.Contains(got[1], "C:") || !strings.Contains(got[1], "2 allocs/op") {
+		t.Errorf("allocs regression message = %q", got[1])
+	}
+	if msgs := Regressions(base, cur[:1], 5); len(msgs) != 0 {
+		t.Errorf("clean run flagged: %v", msgs)
 	}
 }

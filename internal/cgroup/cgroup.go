@@ -59,6 +59,12 @@ type Throttle struct {
 	CPUCores float64 // CFS quota expressed in cores (quota/period)
 }
 
+// Active reports whether any limit is in force (a zero value on every
+// knob means unthrottled, cgroup convention).
+func (t Throttle) Active() bool {
+	return t.ReadIOPS > 0 || t.ReadBPS > 0 || t.CPUCores > 0
+}
+
 // Counters is a point-in-time snapshot of all cumulative counters.
 type Counters struct {
 	Blkio BlkioCounters

@@ -30,6 +30,7 @@ import (
 	"perfcloud/internal/cpu"
 	"perfcloud/internal/disk"
 	"perfcloud/internal/memsys"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/sim"
 )
 
@@ -240,6 +241,15 @@ type Server struct {
 	epochs       []uint64
 	throttleSeqs []uint64
 
+	// Cumulative fast-path accounting: grant-phase ticks elided by
+	// quiescence, grant phases served by demand reuse, and grant phases
+	// that rebuilt the demand/request vectors. Owned by the goroutine
+	// ticking the server (plain fields, no hot-path atomics); read
+	// between ticks via FastPathStats.
+	statSkipped  uint64
+	statSteady   uint64
+	statRebuilds uint64
+
 	// Per-tick scratch buffers, reused across ticks so the steady-state
 	// resource pipeline allocates nothing. They are owned exclusively by
 	// the goroutine ticking this server (servers never share scratch).
@@ -274,6 +284,24 @@ func (s *Server) Quiescent() bool { return s.quiescent }
 func (s *Server) MarkDirty() {
 	s.quiescent = false
 	s.steadyValid = false
+}
+
+// FastPathStats returns the server's cumulative fast-path accounting:
+// how many grant-phase ticks quiescence elided, how many grant phases
+// demand reuse served without rebuilding the request vectors, how many
+// rebuilt, and each allocator's input-memo hit/miss counts. The counters
+// are owned by the goroutine ticking the server, so read them between
+// ticks (the monitoring/exposition cadence, not the tick hot path).
+func (s *Server) FastPathStats() obs.FastPathSnapshot {
+	fp := obs.FastPathSnapshot{
+		QuiescentSkips: s.statSkipped,
+		SteadyReuses:   s.statSteady,
+		Rebuilds:       s.statRebuilds,
+	}
+	fp.CPUMemoHits, fp.CPUMemoMisses = s.cpu.MemoStats()
+	fp.MemMemoHits, fp.MemMemoMisses = s.mem.MemoStats()
+	fp.DiskMemoHits, fp.DiskMemoMisses = s.disk.MemoStats()
+	return fp
 }
 
 // bumpEpoch records a placement change and re-dirties the pipeline.
@@ -359,6 +387,7 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 			}
 		}
 		s.skipped++
+		s.statSkipped++
 		return
 	}
 	s.catchUp()
@@ -373,7 +402,10 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	// shares. Like quiescence, reuse is bit-for-bit invisible (see
 	// TestMemoizationMatchesFullPipeline).
 	steady := reuse && s.steadyUsable(tickSec, n)
-	if !steady {
+	if steady {
+		s.statSteady++
+	} else {
+		s.statRebuilds++
 		s.demands = s.demands[:0]
 		for _, v := range s.vms {
 			var d Demand
@@ -744,6 +776,16 @@ func (c *Cluster) RemoveVM(id string) {
 		}
 	}
 	srv.bumpEpoch()
+}
+
+// FastPathStats sums the fast-path accounting of every server in the
+// cluster. Call it between ticks (see Server.FastPathStats).
+func (c *Cluster) FastPathStats() obs.FastPathSnapshot {
+	var fp obs.FastPathSnapshot
+	for _, s := range c.servers {
+		fp.Add(s.FastPathStats())
+	}
+	return fp
 }
 
 // Servers returns all servers in creation order.

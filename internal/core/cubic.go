@@ -79,6 +79,11 @@ func (c *Cubic) CapMax() float64 { return c.capMax }
 // Decreased reports whether the controller has ever throttled.
 func (c *Cubic) Decreased() bool { return c.decreased }
 
+// LastDecrease returns the control interval of the most recent
+// multiplicative decrease (0 if none yet) — with Region, the epoch
+// state the decision audit log records per cap event.
+func (c *Cubic) LastDecrease() int64 { return c.lastDecrease }
+
 // K returns the plateau midpoint: intervals after a decrease at which the
 // cubic regains Cmax.
 func (c *Cubic) K() float64 {

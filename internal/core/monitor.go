@@ -112,10 +112,11 @@ type Monitor struct {
 	hv    *hypervisor.Hypervisor
 	alpha float64
 
-	epoch   uint64
-	epochOK bool
-	domains []domainState
-	index   map[string]int // id -> slot in domains
+	epoch    uint64
+	epochOK  bool
+	domains  []domainState
+	index    map[string]int // id -> slot in domains
+	realigns uint64         // placement-epoch rebuilds, for observability
 
 	// Reused output buffers backing the returned Sample.
 	outIDs  []string
@@ -144,6 +145,7 @@ func (m *Monitor) realign() {
 	if m.epochOK && epoch == m.epoch {
 		return
 	}
+	m.realigns++
 	next := m.scratch[:0]
 	m.hv.EachDomainStats(func(id string, _ cgroup.Counters) {
 		if j, ok := m.index[id]; ok {
@@ -167,6 +169,12 @@ func (m *Monitor) realign() {
 	}
 	m.epoch, m.epochOK = epoch, true
 }
+
+// Realigns returns how many times the monitor rebuilt its per-domain
+// state because the server's placement epoch moved — the coverage
+// signal for the slice-indexed fast path (a steadily climbing value
+// means placement churn is defeating it).
+func (m *Monitor) Realigns() uint64 { return m.realigns }
 
 // Sample reads all domains, returning per-VM interval measurements.
 // intervalSec is the elapsed time since the previous call. A call with

@@ -7,6 +7,7 @@ import (
 	"perfcloud/internal/cloud"
 	"perfcloud/internal/cluster"
 	"perfcloud/internal/hypervisor"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/sim"
 )
 
@@ -46,6 +47,14 @@ type Config struct {
 	// (0 = 3).
 	EnableMigration         bool
 	MigrationAfterIntervals int
+	// Metrics, when non-nil, receives the agent's counters, gauges and
+	// deviation histograms (one series per server). Events, when non-nil,
+	// receives the typed decision audit log: one event per sample,
+	// detection, identification, cap change, release and migration, in
+	// simulation-time order. Both default to off; the control loop spends
+	// only nil checks when they are.
+	Metrics *obs.Registry
+	Events  obs.Sink
 }
 
 // DefaultConfig returns the paper's settings.
@@ -140,6 +149,74 @@ type NodeManager struct {
 	// low-priority antagonist to throttle; migrations records escalations.
 	unresolvable int
 	migrations   []string
+
+	// Observability: the decision audit log sink (nil = off), the
+	// registered instruments (nil instruments no-op when metrics are off),
+	// and a reused scratch slice that keeps controller application in
+	// sorted VM order so the event stream is deterministic.
+	events obs.Sink
+	inst   nmInstruments
+	capIDs []string
+}
+
+// nmInstruments holds one node manager's registered metrics. The zero
+// value (all nil) is fully usable: every instrument method no-ops on a
+// nil receiver, so an uninstrumented agent pays one branch per update.
+type nmInstruments struct {
+	intervals  *obs.Counter
+	detects    [2]*obs.Counter // indexed by resIO/resCPU
+	identified [2]*obs.Counter
+	capUpdates [2]*obs.Counter
+	released   [2]*obs.Counter
+	migrations *obs.Counter
+	domains    *obs.Gauge
+	realigns   *obs.Gauge
+	ctls       [2]*obs.Gauge
+	iowaitDev  *obs.Histogram
+	cpiDev     *obs.Histogram
+}
+
+// Resource-channel indices and their wire names ("io", "cpu") for
+// instrument labels and event Res fields.
+const (
+	resIO = iota
+	resCPU
+)
+
+var resNames = [2]string{"io", "cpu"}
+
+// register creates the agent's instruments on reg (nil reg → all-nil
+// instruments), labelled by server so a multi-server system exposes one
+// series per agent.
+func (ni *nmInstruments) register(reg *obs.Registry, server string) {
+	srv := obs.Label{Key: "server", Value: server}
+	ni.intervals = reg.Counter("perfcloud_intervals_total",
+		"Control intervals executed by the node manager.", srv)
+	ni.migrations = reg.Counter("perfcloud_migrations_total",
+		"Escalations to the cloud manager that moved a VM.", srv)
+	ni.domains = reg.Gauge("perfcloud_monitor_domains",
+		"Domains measured in the last monitoring interval.", srv)
+	ni.realigns = reg.Gauge("perfcloud_monitor_realigns",
+		"Cumulative placement-epoch rebuilds of the monitor state.", srv)
+	ni.iowaitDev = reg.Histogram("perfcloud_iowait_dev",
+		"Victim iowait-ratio deviation signal per interval.",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200}, srv)
+	ni.cpiDev = reg.Histogram("perfcloud_cpi_dev",
+		"Victim CPI deviation signal per interval.",
+		[]float64{0.1, 0.2, 0.5, 1, 2, 5, 10}, srv)
+	for r, name := range resNames {
+		res := obs.Label{Key: "res", Value: name}
+		ni.detects[r] = reg.Counter("perfcloud_detections_total",
+			"Intervals whose deviation signal crossed its threshold.", srv, res)
+		ni.identified[r] = reg.Counter("perfcloud_identified_total",
+			"Antagonist identifications confirmed by the correlator.", srv, res)
+		ni.capUpdates[r] = reg.Counter("perfcloud_cap_updates_total",
+			"Cap controller decisions that changed the applied cap.", srv, res)
+		ni.released[r] = reg.Counter("perfcloud_cap_releases_total",
+			"Controllers released after probing past the release factor.", srv, res)
+		ni.ctls[r] = reg.Gauge("perfcloud_controllers",
+			"Cap controllers currently in force.", srv, res)
+	}
 }
 
 // NewNodeManager creates the agent for one server.
@@ -147,7 +224,7 @@ func NewNodeManager(cfg Config, cm *cloud.Manager, hv *hypervisor.Hypervisor) *N
 	if cfg.IntervalSec <= 0 {
 		panic("core: nonpositive control interval")
 	}
-	return &NodeManager{
+	nm := &NodeManager{
 		cfg:          cfg,
 		cm:           cm,
 		hv:           hv,
@@ -160,7 +237,10 @@ func NewNodeManager(cfg Config, cm *cloud.Manager, hv *hypervisor.Hypervisor) *N
 		prevIOAnt:    make(map[string]bool),
 		prevCPUAnt:   make(map[string]bool),
 		apps:         make(map[string][]string),
+		events:       cfg.Events,
 	}
+	nm.inst.register(cfg.Metrics, hv.ServerID())
+	return nm
 }
 
 // ServerID returns the id of the managed server.
@@ -238,6 +318,32 @@ func (nm *NodeManager) runInterval(now float64) {
 		det.CPUContention = det.CPUContention || d.CPUContention
 	}
 
+	nm.inst.intervals.Inc()
+	nm.inst.domains.Set(float64(s.Len()))
+	nm.inst.realigns.Set(float64(nm.mon.Realigns()))
+	nm.inst.iowaitDev.Observe(det.IowaitDev)
+	nm.inst.cpiDev.Observe(det.CPIDev)
+	if det.IOContention {
+		nm.inst.detects[resIO].Inc()
+	}
+	if det.CPUContention {
+		nm.inst.detects[resCPU].Inc()
+	}
+	if nm.events != nil {
+		nm.events.Emit(obs.Event{
+			T: now, Type: obs.EventSample, Server: nm.ServerID(),
+			Domains: s.Len(), IowaitDev: det.IowaitDev, CPIDev: det.CPIDev,
+			MeanIowait: det.MeanIowait, MeanCPI: det.MeanCPI,
+		})
+		if det.Contention() {
+			nm.events.Emit(obs.Event{
+				T: now, Type: obs.EventDetect, Server: nm.ServerID(),
+				IowaitDev: det.IowaitDev, CPIDev: det.CPIDev,
+				IOContention: det.IOContention, CPUContention: det.CPUContention,
+			})
+		}
+	}
+
 	// Step 4: update correlation state and identify antagonists. A VM is
 	// engaged once it is identified (or is a known offender) in two
 	// consecutive contended intervals.
@@ -253,12 +359,29 @@ func (nm *NodeManager) runInterval(now float64) {
 	} else {
 		nm.prevCPUAnt = make(map[string]bool)
 	}
+	nm.inst.identified[resIO].Add(uint64(len(ioAnt)))
+	nm.inst.identified[resCPU].Add(uint64(len(cpuAnt)))
+	if nm.events != nil && det.Contention() {
+		// Correlations() is cached for this interval (Record just ran), so
+		// copying it into the audit record costs one slice allocation.
+		corrs := nm.corr.Correlations()
+		ev := obs.Event{
+			T: now, Type: obs.EventIdentify, Server: nm.ServerID(),
+			IOAntagonists: ioAnt, CPUAntagonists: cpuAnt,
+		}
+		for _, r := range corrs {
+			ev.Corr = append(ev.Corr, obs.SuspectCorr{VM: r.VMID, IO: r.IO, CPU: r.CPU})
+		}
+		nm.events.Emit(ev)
+	}
 
 	// Step 5: drive the controllers and apply caps.
 	if !nm.cfg.ObserveOnly {
-		nm.controlIO(det.IOContention, ioAnt, s)
-		nm.controlCPU(det.CPUContention, cpuAnt, s)
+		nm.controlIO(now, det.IOContention, ioAnt, s)
+		nm.controlCPU(now, det.CPUContention, cpuAnt, s)
 	}
+	nm.inst.ctls[resIO].Set(float64(len(nm.io)))
+	nm.inst.ctls[resCPU].Set(float64(len(nm.cpu)))
 
 	// Step 6 (extension, §IV-D2): when contention persists with no
 	// low-priority VM to throttle — i.e. high-priority applications are
@@ -274,6 +397,13 @@ func (nm *NodeManager) runInterval(now float64) {
 			if nm.unresolvable >= limit {
 				if moved, err := nm.cm.RebalanceHighPriority(nm.ServerID()); err == nil && moved != "" {
 					nm.migrations = append(nm.migrations, moved)
+					nm.inst.migrations.Inc()
+					if nm.events != nil {
+						nm.events.Emit(obs.Event{
+							T: now, Type: obs.EventMigrate,
+							Server: nm.ServerID(), VM: moved,
+						})
+					}
 				}
 				nm.unresolvable = 0
 			}
@@ -334,7 +464,7 @@ func (nm *NodeManager) confirm(identified []string, prev map[string]bool, offend
 // constant-rate antagonist that throttling has rendered uncorrelatable
 // stays managed. Controllers release once contention is gone and the
 // probing cap exceeds ReleaseFactor times the VM's original usage.
-func (nm *NodeManager) controlIO(contention bool, antagonists []string, s Sample) {
+func (nm *NodeManager) controlIO(now float64, contention bool, antagonists []string, s Sample) {
 	for _, id := range antagonists {
 		nm.ioOffenders[id] = true
 	}
@@ -363,12 +493,16 @@ func (nm *NodeManager) controlIO(contention bool, antagonists []string, s Sample
 			nm.io[id] = &capController{policy: nm.newPolicy(), initial: init, opSize: opSize}
 		}
 	}
-	for id, ctl := range nm.io {
+	for _, id := range nm.sortedCtlIDs(nm.io) {
+		ctl := nm.io[id]
+		old := ctl.policy.Cap()
 		frac := ctl.policy.Update(nm.interval, contention)
 		if !contention && frac >= nm.cfg.ReleaseFactor {
 			nm.hv.SetBlkioThrottleIOPS(id, 0)
 			nm.hv.SetBlkioThrottleBPS(id, 0)
 			delete(nm.io, id)
+			nm.inst.released[resIO].Inc()
+			nm.emitRelease(now, resIO, id, ctl, old)
 			continue
 		}
 		if err := nm.hv.SetBlkioThrottleIOPS(id, frac*ctl.initial); err != nil {
@@ -376,11 +510,15 @@ func (nm *NodeManager) controlIO(contention bool, antagonists []string, s Sample
 			continue
 		}
 		nm.hv.SetBlkioThrottleBPS(id, frac*ctl.initial*ctl.opSize)
+		if frac != old {
+			nm.inst.capUpdates[resIO].Inc()
+			nm.emitCap(now, resIO, id, ctl, old, frac)
+		}
 	}
 }
 
 // controlCPU mirrors controlIO for the vcpu-quota hard cap.
-func (nm *NodeManager) controlCPU(contention bool, antagonists []string, s Sample) {
+func (nm *NodeManager) controlCPU(now float64, contention bool, antagonists []string, s Sample) {
 	for _, id := range antagonists {
 		nm.cpuOffenders[id] = true
 	}
@@ -401,17 +539,69 @@ func (nm *NodeManager) controlCPU(contention bool, antagonists []string, s Sampl
 			nm.cpu[id] = &capController{policy: nm.newPolicy(), initial: init}
 		}
 	}
-	for id, ctl := range nm.cpu {
+	for _, id := range nm.sortedCtlIDs(nm.cpu) {
+		ctl := nm.cpu[id]
+		old := ctl.policy.Cap()
 		frac := ctl.policy.Update(nm.interval, contention)
 		if !contention && frac >= nm.cfg.ReleaseFactor {
 			nm.hv.SetVCPUQuota(id, 0)
 			delete(nm.cpu, id)
+			nm.inst.released[resCPU].Inc()
+			nm.emitRelease(now, resCPU, id, ctl, old)
 			continue
 		}
 		if err := nm.hv.SetVCPUQuota(id, frac*ctl.initial); err != nil {
 			delete(nm.cpu, id)
+			continue
+		}
+		if frac != old {
+			nm.inst.capUpdates[resCPU].Inc()
+			nm.emitCap(now, resCPU, id, ctl, old, frac)
 		}
 	}
+}
+
+// sortedCtlIDs fills the reused capIDs scratch with a controller map's
+// keys in sorted order. Map iteration order is random per run; applying
+// caps in sorted VM order keeps hypervisor calls and the audit log
+// deterministic across same-seed runs.
+func (nm *NodeManager) sortedCtlIDs(ctls map[string]*capController) []string {
+	nm.capIDs = nm.capIDs[:0]
+	for id := range ctls {
+		nm.capIDs = append(nm.capIDs, id)
+	}
+	sort.Strings(nm.capIDs)
+	return nm.capIDs
+}
+
+// emitCap records one applied cap change on the audit log: the absolute
+// old and new caps plus, when the policy is the paper's CUBIC, the
+// growth-curve region and intervals since the last decrease.
+func (nm *NodeManager) emitCap(now float64, res int, id string, ctl *capController, oldFrac, newFrac float64) {
+	if nm.events == nil {
+		return
+	}
+	ev := obs.Event{
+		T: now, Type: obs.EventCap, Server: nm.ServerID(), VM: id,
+		Res:    resNames[res],
+		OldCap: oldFrac * ctl.initial, NewCap: newFrac * ctl.initial,
+	}
+	if cb, ok := ctl.policy.(*Cubic); ok {
+		ev.Region = cb.Region(nm.interval)
+		ev.SinceDecrease = nm.interval - cb.LastDecrease()
+	}
+	nm.events.Emit(ev)
+}
+
+// emitRelease records a controller removal (cap lifted entirely).
+func (nm *NodeManager) emitRelease(now float64, res int, id string, ctl *capController, oldFrac float64) {
+	if nm.events == nil {
+		return
+	}
+	nm.events.Emit(obs.Event{
+		T: now, Type: obs.EventRelease, Server: nm.ServerID(), VM: id,
+		Res: resNames[res], OldCap: oldFrac * ctl.initial,
+	})
 }
 
 // newPolicy builds a normalized cap controller: C starts at 1 (the VM's

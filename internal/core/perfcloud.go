@@ -28,8 +28,18 @@ func Attach(eng *sim.Engine, cl *cluster.Cluster, cm *cloud.Manager, cfg Config)
 	return sys
 }
 
-// Managers returns the per-server agents in server order.
+// Managers returns a copy of the per-server agents in server order.
 func (s *System) Managers() []*NodeManager { return append([]*NodeManager(nil), s.managers...) }
+
+// EachManager calls fn for every agent in server order without copying
+// the manager slice — the per-interval alternative to Managers() for
+// exposition and status paths (matching the EachDomain/EachVMOnServer
+// convention). fn must not attach or detach managers.
+func (s *System) EachManager(fn func(*NodeManager)) {
+	for _, nm := range s.managers {
+		fn(nm)
+	}
+}
 
 // Manager returns the agent for the given server id, or nil.
 func (s *System) Manager(serverID string) *NodeManager {

@@ -62,7 +62,18 @@ type Scheduler struct {
 	memoTick   float64
 	memoReqs   []Request
 	memoGrants []Grant
+
+	// Memo accounting (plain fields: one scheduler serves one server's
+	// ticking goroutine; read between ticks via MemoStats).
+	memoHits   uint64
+	memoMisses uint64
 }
+
+// MemoStats returns how many AllocateInto calls were served from the
+// input memo (hits) versus fully solved (misses) over the scheduler's
+// lifetime. Read it between ticks — the counters are owned by the
+// goroutine ticking the server.
+func (s *Scheduler) MemoStats() (hits, misses uint64) { return s.memoHits, s.memoMisses }
 
 // memoizeOff disables the input memo package-wide when set; the zero
 // value (enabled) is the normal operating mode. Atomic so tests can flip
@@ -125,8 +136,10 @@ func (s *Scheduler) AllocateInto(dst []Grant, tickSec float64, reqs []Request) [
 	if s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick && requestsEqual(reqs, s.memoReqs) {
 		// Steady state: identical inputs produce identical grants, and the
 		// scheduler has no per-tick internal state to advance.
+		s.memoHits++
 		return append(dst, s.memoGrants...)
 	}
+	s.memoMisses++
 	s.clamped = s.clamped[:0]
 	var anyDemand bool
 	for _, r := range reqs {

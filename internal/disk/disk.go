@@ -148,7 +148,18 @@ type Disk struct {
 	memoWaitCoef  float64 // CongestionScale*q*rlFactor of the memoized tick
 	memoReqs      []Request
 	memoGrants    []Grant // WaitMs fields unused; recomputed per tick
+
+	// Memo accounting (plain fields: one disk serves one server's
+	// ticking goroutine; read between ticks via MemoStats).
+	memoHits   uint64
+	memoMisses uint64
 }
+
+// MemoStats returns how many AllocateInto calls took the steady path
+// (hits: cached shares reused, only WaitMs recomputed) versus solved the
+// full allocation (misses) over the disk's lifetime. Read it between
+// ticks — the counters are owned by the goroutine ticking the server.
+func (d *Disk) MemoStats() (hits, misses uint64) { return d.memoHits, d.memoMisses }
 
 // memoizeOff disables the steady-state memo package-wide when set; the
 // zero value (enabled) is the normal operating mode. Atomic so tests can
@@ -235,8 +246,10 @@ func (d *Disk) AllocateInto(dst []Grant, tickSec float64, reqs []Request) []Gran
 		panic("disk: nonpositive tick")
 	}
 	if d.memoValid && !memoizeOff.Load() && tickSec == d.memoTick && requestsEqual(reqs, d.memoReqs) {
+		d.memoHits++
 		return d.allocateSteady(dst)
 	}
+	d.memoMisses++
 	base := len(dst)
 	seekCost := 1 / d.cfg.IOPSCapacity
 

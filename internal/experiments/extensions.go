@@ -190,9 +190,9 @@ func Migration(seed int64) MigrationResult {
 			}
 		}
 		moves := 0
-		for _, nm := range sys.Managers() {
+		sys.EachManager(func(nm *core.NodeManager) {
 			moves += len(nm.Migrations())
-		}
+		})
 		spread := map[string]bool{}
 		for _, id := range append(append([]string(nil), namesA...), namesB...) {
 			spread[clus.FindVM(id).Server().ID()] = true

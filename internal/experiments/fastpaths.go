@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"sync"
+
+	"perfcloud/internal/cluster"
+	"perfcloud/internal/obs"
+)
+
+// Fast-path tracking: when enabled, every cluster built by NewTestbed is
+// remembered so FastPathTotals can sum the simulation's fast-path
+// accounting across a whole perfbench run. Off by default — tracking
+// would otherwise retain every testbed's cluster for the process
+// lifetime.
+var (
+	fpMu       sync.Mutex
+	fpTrack    bool
+	fpClusters []*cluster.Cluster
+)
+
+// SetTrackFastPaths enables (or disables) cluster tracking, resetting
+// any clusters recorded so far.
+func SetTrackFastPaths(on bool) {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	fpTrack = on
+	fpClusters = nil
+}
+
+// trackCluster records a testbed's cluster if tracking is on.
+func trackCluster(c *cluster.Cluster) {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	if fpTrack {
+		fpClusters = append(fpClusters, c)
+	}
+}
+
+// FastPathTotals sums the fast-path counters of every tracked cluster.
+// Call it only after the experiments using those clusters have finished
+// ticking (the counters are owned by the tick goroutines).
+func FastPathTotals() obs.FastPathSnapshot {
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	var total obs.FastPathSnapshot
+	for _, c := range fpClusters {
+		total.Add(c.FastPathStats())
+	}
+	return total
+}

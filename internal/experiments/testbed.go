@@ -140,6 +140,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if cfg.PerfCloud != nil {
 		tb.Sys = core.Attach(tb.Eng, tb.Clus, tb.CM, *cfg.PerfCloud)
 	}
+	trackCluster(tb.Clus)
 	return tb
 }
 

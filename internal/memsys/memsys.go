@@ -125,7 +125,18 @@ type System struct {
 	memoReqs     []Request
 	memoResults  []Result
 	memoStep     []string // client ids whose jitter the memoized tick stepped, in order
+
+	// Memo accounting (plain fields: one system serves one server's
+	// ticking goroutine; read between ticks via MemoStats).
+	memoHits   uint64
+	memoMisses uint64
 }
+
+// MemoStats returns how many ComputeInto calls were served from the
+// input memo (hits) versus fully solved (misses) over the system's
+// lifetime. Read it between ticks — the counters are owned by the
+// goroutine ticking the server.
+func (s *System) MemoStats() (hits, misses uint64) { return s.memoHits, s.memoMisses }
 
 // memoizeOff disables the input memo package-wide when set; the zero
 // value (enabled) is the normal operating mode. Atomic so tests can flip
@@ -199,8 +210,10 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		for _, id := range s.memoStep {
 			s.jitter.Step(id)
 		}
+		s.memoHits++
 		return append(dst, s.memoResults...)
 	}
+	s.memoMisses++
 
 	// Nominal instruction rate (at core CPI) determines both LLC occupancy
 	// weight and bandwidth demand. Using the stall-free rate here keeps the

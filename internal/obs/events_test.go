@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleEvents is a stream exercising every event type and payload kind.
+func sampleEvents() []Event {
+	return []Event{
+		{T: 5, Type: EventSample, Server: "s0", Domains: 9, IowaitDev: 0.3, CPIDev: 0.01},
+		{T: 35, Type: EventDetect, Server: "s0", IowaitDev: 42.5, CPIDev: 0.2, IOContention: true},
+		{T: 35, Type: EventIdentify, Server: "s0",
+			Corr:          []SuspectCorr{{VM: "fio", IO: 0.97, CPU: 0.1}},
+			IOAntagonists: []string{"fio"}},
+		{T: 40, Type: EventCap, Server: "s0", VM: "fio", Res: "io",
+			OldCap: 8000, NewCap: 1600, Region: "growth", SinceDecrease: 0},
+		{T: 120, Type: EventRelease, Server: "s0", VM: "fio", Res: "io", OldCap: 32000},
+		{T: 200, Type: EventFastPaths, Fast: &FastPathSnapshot{QuiescentSkips: 10, SteadyReuses: 5, Rebuilds: 2}},
+	}
+}
+
+func TestJSONLSinkDeterministic(t *testing.T) {
+	render := func() string {
+		var b bytes.Buffer
+		s := NewJSONLSink(&b)
+		for _, e := range sampleEvents() {
+			s.Emit(e)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("JSONL encoding not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	if len(lines) != len(sampleEvents()) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(sampleEvents()))
+	}
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+	}
+}
+
+func TestEventZeroFieldsOmitted(t *testing.T) {
+	var b bytes.Buffer
+	s := NewJSONLSink(&b)
+	s.Emit(Event{T: 5, Type: EventSample, Server: "s0", Domains: 3})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(b.String())
+	want := `{"t":5,"type":"sample","server":"s0","domains":3}`
+	if got != want {
+		t.Fatalf("encoding = %s, want %s", got, want)
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if got := r.Events(); len(got) != 0 {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{T: float64(i)})
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if want := float64(i + 3); e.T != want {
+			t.Fatalf("event %d has T=%v, want %v (oldest first)", i, e.T, want)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5", r.Total())
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := MultiSink{a, b}
+	m.Emit(Event{T: 1, Type: EventSample})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("multisink did not fan out: %d, %d", a.Total(), b.Total())
+	}
+}
+
+func TestFastPathSnapshotAdd(t *testing.T) {
+	a := FastPathSnapshot{QuiescentSkips: 1, SteadyReuses: 2, Rebuilds: 3, CPUMemoHits: 4, DiskMemoMisses: 5}
+	a.Add(FastPathSnapshot{QuiescentSkips: 10, SteadyReuses: 20, Rebuilds: 30, CPUMemoHits: 40, MemMemoHits: 7, DiskMemoMisses: 50})
+	want := FastPathSnapshot{QuiescentSkips: 11, SteadyReuses: 22, Rebuilds: 33, CPUMemoHits: 44, MemMemoHits: 7, DiskMemoMisses: 55}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+}

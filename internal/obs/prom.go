@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family followed by its series, families sorted by name and series by
+// label set, so the output is deterministic. Safe to call concurrently
+// with instrument updates. A nil Registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		ss := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series: a single sample for counters and
+// gauges, the buckets/sum/count triplet for histograms.
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.typ {
+	case typeCounter:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(f.name, s.labels), formatValue(float64(s.counter.Value())))
+		return err
+	case typeGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", sampleName(f.name, s.labels), formatValue(s.gauge.Value()))
+		return err
+	case typeHistogram:
+		var cum uint64
+		for i, bound := range s.hist.bounds {
+			cum += s.hist.counts[i].Load()
+			le := Label{Key: "le", Value: formatValue(bound)}
+			name := sampleName(f.name+"_bucket", joinLabels(s.labels, le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, cum); err != nil {
+				return err
+			}
+		}
+		cum += s.hist.counts[len(s.hist.bounds)].Load()
+		inf := Label{Key: "le", Value: "+Inf"}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_bucket", joinLabels(s.labels, inf)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", sampleName(f.name+"_sum", s.labels), formatValue(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", sampleName(f.name+"_count", s.labels), s.hist.Count())
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric type %q", f.typ)
+}
+
+// sampleName renders name{labels} (or the bare name without labels).
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// joinLabels appends one label to an already-rendered label set.
+func joinLabels(labels string, l Label) string {
+	extra := l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, with the special values spelt out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}

@@ -36,6 +36,51 @@ func TestSeriesCSV(t *testing.T) {
 	}
 }
 
+func TestSeriesCSVDisjointTimestamps(t *testing.T) {
+	// No shared timestamps at all: every row has exactly one populated
+	// cell, rows in global time order.
+	a := stats.NewTimeSeries()
+	a.Append(0, 1)
+	a.Append(10, 2)
+	b := stats.NewTimeSeries()
+	b.Append(5, 30)
+	b.Append(15, 40)
+
+	csv := SeriesCSV([]string{"a", "b"}, []*stats.TimeSeries{a, b})
+	want := "time,a,b\n0,1,\n5,,30\n10,2,\n15,,40\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesCSVAllNaNColumn(t *testing.T) {
+	// A series of only missing samples still contributes its rows (the
+	// timestamps exist) but every cell stays empty.
+	a := stats.NewTimeSeries()
+	a.Append(0, 1)
+	b := stats.NewTimeSeries()
+	b.AppendMissing(0)
+	b.AppendMissing(5)
+
+	csv := SeriesCSV([]string{"a", "gaps"}, []*stats.TimeSeries{a, b})
+	want := "time,a,gaps\n0,1,\n5,,\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSeriesCSVEmptyInput(t *testing.T) {
+	// Zero series: just the time header. Empty series: header plus the
+	// column names, no data rows.
+	if got := SeriesCSV(nil, nil); got != "time\n" {
+		t.Errorf("no series: %q", got)
+	}
+	empty := stats.NewTimeSeries()
+	if got := SeriesCSV([]string{"x"}, []*stats.TimeSeries{empty}); got != "time,x\n" {
+		t.Errorf("empty series: %q", got)
+	}
+}
+
 func TestSeriesCSVPanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {
