@@ -7,6 +7,11 @@
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
 //	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE] [-fastpaths]
+//	          [-tracedir DIR]
+//
+// -tracedir enables data-plane tracing for the Fig 11/12 experiments:
+// every repetition writes a Perfetto/chrome-trace JSON timeline into the
+// directory, and the result rows carry per-phase time attribution.
 //
 // -parallel bounds both concurrency layers — per-server tick work inside a
 // cluster and independent experiment repetitions. 0 (the default) uses
@@ -54,11 +59,19 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fastpaths := flag.Bool("fastpaths", false, "print the simulation's cumulative fast-path hit-rate counters after the run")
+	tracedir := flag.String("tracedir", "", "directory to write per-repetition Perfetto traces (Figs 11, 12)")
 	flag.Parse()
 	cluster.SetDefaultTickWorkers(*parallel)
 	experiments.SetMaxParallelRuns(*parallel)
 	if *fastpaths {
 		experiments.SetTrackFastPaths(true)
+	}
+	if *tracedir != "" {
+		if err := os.MkdirAll(*tracedir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		experiments.SetTraceDir(*tracedir)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

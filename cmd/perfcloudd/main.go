@@ -8,10 +8,14 @@
 // a Prometheus /metrics endpoint, the typed decision audit log on
 // /debug/events, and the simulation's fast-path accounting on
 // /debug/fastpaths. -events appends the full audit log as JSONL.
+// -trace records every task attempt with phase attribution and writes a
+// Perfetto/chrome-trace JSON timeline, with the agent's cap/release
+// decisions as instant markers.
 //
 // Usage:
 //
 //	perfcloudd [-duration 3m] [-seed N] [-http :8080] [-events out.jsonl]
+//	           [-trace out.json]
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"perfcloud/internal/obs"
+	"perfcloud/internal/trace"
 )
 
 func main() {
@@ -31,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/events and /debug/fastpaths on this address (e.g. :8080)")
 	eventsPath := flag.String("events", "", "write the decision audit log as JSONL to this file")
+	tracePath := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
 	flag.Parse()
 
 	cfg := runConfig{Duration: *duration, Seed: *seed, Log: os.Stdout}
@@ -38,6 +44,12 @@ func main() {
 	var sinks obs.MultiSink
 	var jsonl *obs.JSONLSink
 	var eventsFile *os.File
+	var col *obs.Collector
+	if *tracePath != "" {
+		cfg.Tracer = trace.NewTracer()
+		col = obs.NewCollector()
+		sinks = append(sinks, col)
+	}
 	if *eventsPath != "" {
 		f, err := os.Create(*eventsPath)
 		if err != nil {
@@ -79,6 +91,21 @@ func main() {
 		}
 		eventsFile.Close()
 		fmt.Printf("perfcloudd: audit log written to %s\n", *eventsPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = cfg.Tracer.WritePerfetto(f, col.Events())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfcloudd: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perfcloudd: %d spans written to %s (open at https://ui.perfetto.dev)\n",
+			cfg.Tracer.Len(), *tracePath)
 	}
 	if srv != nil {
 		fmt.Println("perfcloudd: run complete; endpoints stay up, ctrl-c to exit")

@@ -11,6 +11,7 @@ import (
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/mapreduce"
 	"perfcloud/internal/obs"
+	tracing "perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
 )
 
@@ -27,6 +28,9 @@ type runConfig struct {
 	// with the cluster's cumulative fast-path snapshot — the hook the
 	// /debug/fastpaths endpoint reads through.
 	OnInterval func(obs.FastPathSnapshot)
+	// Tracer, when non-nil, records job/task/attempt spans with phase
+	// attribution for the whole run (-trace exports them as Perfetto).
+	Tracer *tracing.Tracer
 }
 
 // run executes the canonical perfcloudd scenario: one server hosting a
@@ -45,6 +49,7 @@ func run(cfg runConfig) error {
 	tb := experiments.NewTestbed(experiments.TestbedConfig{
 		Seed:      cfg.Seed,
 		PerfCloud: ctl,
+		Tracer:    cfg.Tracer,
 	})
 	tb.MustInput("input", 640<<20)
 	tb.AddAntagonist(0, workloads.NewFioRandRead(

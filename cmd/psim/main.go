@@ -8,6 +8,12 @@
 //	psim [-servers N] [-workers N] [-scheme default|late|dolly-2|dolly-4|perfcloud]
 //	     [-workload terasort|wordcount|inverted-index|spark-logreg|spark-pagerank|spark-svm]
 //	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v]
+//	     [-trace FILE] [-phase-report] [-phase-csv]
+//
+// -trace writes a Chrome-trace-event/Perfetto JSON timeline of every
+// task attempt (open it at https://ui.perfetto.dev or chrome://tracing);
+// -phase-report prints the per-job phase-attribution and critical-path
+// tables; -phase-csv emits the same tables as CSV.
 package main
 
 import (
@@ -19,8 +25,10 @@ import (
 	"perfcloud/internal/core"
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/straggler"
+	"perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
 )
 
@@ -34,6 +42,9 @@ func main() {
 	nstream := flag.Int("streams", 1, "STREAM antagonist VMs")
 	seed := flag.Int64("seed", 42, "random seed")
 	verbose := flag.Bool("v", false, "print every control interval")
+	traceFile := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
+	phaseReport := flag.Bool("phase-report", false, "print per-job phase attribution and critical path")
+	phaseCSV := flag.Bool("phase-csv", false, "emit the phase tables as CSV instead of text")
 	flag.Parse()
 
 	cfg := experiments.TestbedConfig{
@@ -58,6 +69,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "psim: unknown scheme %q\n", *scheme)
 		os.Exit(2)
+	}
+
+	var tr *trace.Tracer
+	var col *obs.Collector
+	if *traceFile != "" || *phaseReport || *phaseCSV {
+		tr = trace.NewTracer()
+		cfg.Tracer = tr
+		if cfg.PerfCloud != nil {
+			col = obs.NewCollector()
+			cfg.PerfCloud.Events = col
+		}
 	}
 
 	tb := experiments.NewTestbed(cfg)
@@ -115,6 +137,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[%7.1fs] job %d done: JCT %.1fs\n", tb.Eng.Clock().Seconds(), i, c.JCT())
+	}
+
+	if tr != nil {
+		var events []obs.Event
+		if col != nil {
+			events = col.Events()
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psim:", err)
+				os.Exit(1)
+			}
+			if err := tr.WritePerfetto(f, events); err == nil {
+				err = f.Close()
+				if err == nil {
+					fmt.Printf("trace: %d spans written to %s (open at https://ui.perfetto.dev)\n",
+						tr.Len(), *traceFile)
+				}
+			} else {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "psim:", err)
+				os.Exit(1)
+			}
+		}
+		if *phaseReport || *phaseCSV {
+			for _, tab := range []*trace.Table{tr.PhaseReport(), tr.CriticalPathReport()} {
+				if *phaseCSV {
+					fmt.Print(tab.CSV())
+				} else {
+					fmt.Println(tab.String())
+				}
+			}
+		}
 	}
 
 	if tb.Sys != nil {

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"perfcloud/internal/cluster"
+	"perfcloud/internal/trace"
 )
 
 // TaskSpec is the immutable description of one task's work and shape.
@@ -79,6 +80,12 @@ type Attempt struct {
 	bytesDone   float64
 	instrDone   float64
 	cachedInput bool
+
+	// span is the attempt's trace span (trace.NoSpan when tracing is
+	// off); slot is the executor slot index it occupies, tracked only
+	// while a tracer is attached (slot names are Perfetto tracks).
+	span trace.SpanID
+	slot int
 }
 
 // CachedInput reports whether the attempt's input was served from the
@@ -144,21 +151,36 @@ func (a *Attempt) done() bool {
 	return a.bytesDone >= s.IOBytes-workEpsilon && a.instrDone >= s.Instructions-workEpsilon
 }
 
+// Span returns the attempt's trace span id (trace.NoSpan when tracing
+// is off).
+func (a *Attempt) Span() trace.SpanID { return a.span }
+
 // Task is a logical unit of work; it completes when any attempt does.
 type Task struct {
 	spec      TaskSpec
 	attempts  []*Attempt
 	completed *Attempt
+	span      trace.SpanID
 }
 
 // NewTask creates a task from a spec.
-func NewTask(spec TaskSpec) *Task { return &Task{spec: spec} }
+func NewTask(spec TaskSpec) *Task { return &Task{spec: spec, span: trace.NoSpan} }
 
 // Spec returns the task's specification.
 func (t *Task) Spec() TaskSpec { return t.spec }
 
-// Attempts returns all attempts launched for the task.
+// Attempts returns all attempts launched for the task. It copies; use
+// EachAttempt on per-tick paths.
 func (t *Task) Attempts() []*Attempt { return append([]*Attempt(nil), t.attempts...) }
+
+// EachAttempt calls fn for every attempt of the task in launch order,
+// without copying the backing slice — the iteration per-tick callers
+// (speculators, accounting) should use.
+func (t *Task) EachAttempt(fn func(*Attempt)) {
+	for _, a := range t.attempts {
+		fn(a)
+	}
+}
 
 // Completed returns the winning attempt, or nil while unfinished.
 func (t *Task) Completed() *Attempt { return t.completed }
@@ -203,6 +225,14 @@ type Executor struct {
 	// goroutine per tick, so plain fields suffice.
 	ios  []float64
 	cpus []float64
+
+	// Data-plane tracing (nil = off, the hot-path default: Advance then
+	// pays a single pointer comparison). perSlot/tracks are slot-indexed
+	// occupancy and precomputed Perfetto track names, maintained only
+	// while a tracer is attached.
+	tracer  *trace.Tracer
+	perSlot []*Attempt
+	tracks  []string
 }
 
 var _ cluster.Workload = (*Executor)(nil)
@@ -236,8 +266,39 @@ func (e *Executor) DemandEpoch() uint64 { return e.epoch }
 // FreeSlots returns the number of unoccupied task slots.
 func (e *Executor) FreeSlots() int { return e.slots - len(e.running) }
 
-// Running returns the attempts currently occupying slots.
+// Running returns the attempts currently occupying slots. It copies;
+// use EachRunning on per-tick paths.
 func (e *Executor) Running() []*Attempt { return append([]*Attempt(nil), e.running...) }
+
+// EachRunning calls fn for every running attempt in launch order,
+// without copying the backing slice.
+func (e *Executor) EachRunning(fn func(*Attempt)) {
+	for _, a := range e.running {
+		fn(a)
+	}
+}
+
+// SetTracer attaches (or, with nil, detaches) a data-plane span tracer.
+// Attach before the first launch: attempts already running are not
+// retrofitted with slots or spans. With a tracer attached, Advance
+// attributes every attempt-tick to a trace.Phase and launches open
+// attempt spans on per-slot tracks named "<vm-id>/slot<i>".
+func (e *Executor) SetTracer(tr *trace.Tracer) {
+	e.tracer = tr
+	e.perSlot = nil
+	e.tracks = nil
+	if tr == nil {
+		return
+	}
+	e.perSlot = make([]*Attempt, e.slots)
+	e.tracks = make([]string, e.slots)
+	for i := range e.tracks {
+		e.tracks[i] = fmt.Sprintf("%s/slot%d", e.vm.ID(), i)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (e *Executor) Tracer() *trace.Tracer { return e.tracer }
 
 // RunsTask reports whether some running attempt belongs to the task.
 func (e *Executor) RunsTask(t *Task) bool {
@@ -254,7 +315,7 @@ func (e *Executor) launch(t *Task, nowSec float64, speculative bool) *Attempt {
 	if e.FreeSlots() <= 0 {
 		panic(fmt.Sprintf("exec: no free slot on %s", e.Name()))
 	}
-	a := &Attempt{task: t, executor: e, speculative: speculative, startSec: nowSec}
+	a := &Attempt{task: t, executor: e, speculative: speculative, startSec: nowSec, span: trace.NoSpan}
 	if key := t.spec.InputKey; key != "" {
 		cache := e.vm.Server().Cache()
 		if cache.Has(key, nowSec) {
@@ -269,6 +330,28 @@ func (e *Executor) launch(t *Task, nowSec float64, speculative bool) *Attempt {
 	t.attempts = append(t.attempts, a)
 	e.running = append(e.running, a)
 	e.epoch++
+	if tr := e.tracer; tr != nil {
+		for i, occ := range e.perSlot {
+			if occ == nil {
+				a.slot = i
+				e.perSlot[i] = a
+				break
+			}
+		}
+		tr.FirstLaunch(t.span, nowSec)
+		a.span = tr.Start(trace.KindAttempt, t.spec.ID, e.tracks[a.slot], t.span, nowSec)
+		if speculative {
+			tr.MarkSpeculative(a.span)
+		}
+		if a.cachedInput {
+			// The cache hit saved roughly a full disk stream of the input.
+			rate := t.spec.MaxIORate
+			if rate == 0 {
+				rate = defaultMaxIORate
+			}
+			tr.MarkCachedInput(a.span, t.spec.IOBytes/rate)
+		}
+	}
 	return a
 }
 
@@ -278,6 +361,9 @@ func (e *Executor) remove(a *Attempt) {
 		if r == a {
 			e.running = append(e.running[:i], e.running[i+1:]...)
 			e.epoch++
+			if e.perSlot != nil {
+				e.perSlot[a.slot] = nil
+			}
 			return
 		}
 	}
@@ -356,8 +442,20 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 		totCPU += cpu
 	}
 	ios, cpus := e.ios, e.cpus
+	// Tracing: read the cgroup throttle state once per tick (not per
+	// attempt); a VM-wide blkio cap reclassifies disk wait as
+	// control-plane-induced.
+	tr := e.tracer
+	ioCapped := false
+	if tr != nil {
+		th := e.vm.Cgroup().Throttle()
+		ioCapped = th.ReadIOPS > 0 || th.ReadBPS > 0
+	}
 	for i, a := range e.running {
 		s := a.task.spec
+		if tr != nil {
+			e.attribute(tr, a, i, tickSec, g, totCPU, ioCapped)
+		}
 		if a.cachedInput {
 			a.bytesDone += math.Min(math.Max(0, s.IOBytes-a.bytesDone), cacheReadRate*tickSec)
 		} else if totIO > 0 {
@@ -386,6 +484,10 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 		if a.done() {
 			a.state = AttemptCompleted
 			a.endSec = endSec
+			if tr != nil {
+				tr.End(a.span, endSec)
+				e.perSlot[a.slot] = nil
+			}
 		} else {
 			still = append(still, a)
 		}
@@ -410,6 +512,46 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 			e.epoch++
 			return
 		}
+	}
+}
+
+// attribute splits one attempt's tick across the trace phases, reading
+// only pre-progress state (the captured demand vectors and the byte
+// counter before this tick's update), so attribution never perturbs the
+// simulation. The buckets partition tickSec exactly: on-core time at the
+// baseline CPI is PhaseCPU, the CPI-inflation remainder is
+// PhaseCPIStall, and off-core time is disk wait (split by cgroup cap
+// state), cache streaming, or idle.
+func (e *Executor) attribute(tr *trace.Tracer, a *Attempt, i int, tickSec float64, g cluster.Grant, totCPU float64, ioCapped bool) {
+	s := a.task.spec
+	var cpuSec float64
+	if totCPU > 0 && e.cpus[i] > 0 {
+		cpuSec = g.CPUSeconds * e.cpus[i] / totCPU
+		if cpuSec > tickSec {
+			cpuSec = tickSec
+		}
+	}
+	base := cpuSec
+	if bc := s.CoreCPI; bc > 0 && g.CPI > bc {
+		// Of the granted core time, only the CoreCPI/CPI fraction retires
+		// instructions at the solo rate; the rest is interference stall.
+		base = cpuSec * bc / g.CPI
+	}
+	tr.AddPhase(a.span, trace.PhaseCPU, base)
+	tr.AddPhase(a.span, trace.PhaseCPIStall, cpuSec-base)
+	rem := tickSec - cpuSec
+	if rem <= 0 {
+		return
+	}
+	switch {
+	case e.ios[i] > 0 && ioCapped:
+		tr.AddPhase(a.span, trace.PhaseDiskThrottled, rem)
+	case e.ios[i] > 0:
+		tr.AddPhase(a.span, trace.PhaseDiskWait, rem)
+	case a.cachedInput && s.IOBytes-a.bytesDone > workEpsilon:
+		tr.AddPhase(a.span, trace.PhaseCacheRead, rem)
+	default:
+		tr.AddPhase(a.span, trace.PhaseIdle, rem)
 	}
 }
 
@@ -457,11 +599,14 @@ type TaskSet struct {
 	spec    Speculator
 
 	killed bool
+
+	tr   *trace.Tracer
+	span trace.SpanID
 }
 
 // NewTaskSet builds a set from specs. The speculator may be nil.
 func NewTaskSet(name string, specs []TaskSpec, spec Speculator) *TaskSet {
-	ts := &TaskSet{name: name, spec: spec}
+	ts := &TaskSet{name: name, spec: spec, span: trace.NoSpan}
 	for _, s := range specs {
 		t := NewTask(s)
 		ts.tasks = append(ts.tasks, t)
@@ -470,11 +615,39 @@ func NewTaskSet(name string, specs []TaskSpec, spec Speculator) *TaskSet {
 	return ts
 }
 
+// Trace opens the set's span (and one span per task, queue wait measured
+// from nowSec) under the given parent. Call right after NewTaskSet,
+// before the first Tick; a nil tracer leaves tracing off. The set closes
+// its spans as tasks complete or are killed.
+func (ts *TaskSet) Trace(tr *trace.Tracer, parent trace.SpanID, nowSec float64) {
+	if tr == nil {
+		return
+	}
+	ts.tr = tr
+	ts.span = tr.Start(trace.KindTaskSet, ts.name, "", parent, nowSec)
+	for _, t := range ts.tasks {
+		t.span = tr.Start(trace.KindTask, t.spec.ID, "", ts.span, nowSec)
+	}
+}
+
+// Span returns the set's trace span id (trace.NoSpan when tracing is
+// off).
+func (ts *TaskSet) Span() trace.SpanID { return ts.span }
+
 // Name returns the set's name.
 func (ts *TaskSet) Name() string { return ts.name }
 
-// Tasks returns all tasks in the set.
+// Tasks returns all tasks in the set. It copies; use EachTask on
+// per-tick paths.
 func (ts *TaskSet) Tasks() []*Task { return append([]*Task(nil), ts.tasks...) }
+
+// EachTask calls fn for every task in creation order, without copying
+// the backing slice.
+func (ts *TaskSet) EachTask(fn func(*Task)) {
+	for _, t := range ts.tasks {
+		fn(t)
+	}
+}
 
 // Done reports whether every task has completed (or the set was killed).
 func (ts *TaskSet) Done() bool {
@@ -508,10 +681,17 @@ func (ts *TaskSet) Tick(nowSec float64, pool Pool) {
 		for _, a := range t.attempts {
 			if a.state == AttemptCompleted {
 				t.completed = a
+				ts.tr.End(t.span, a.endSec)
 				ts.killSiblings(t, nowSec)
 				break
 			}
 		}
+	}
+	// Close the set span once the last task has (End is open-guarded, so
+	// later Ticks are no-ops); nothing below could act anyway.
+	if ts.tr != nil && ts.Done() {
+		ts.tr.End(ts.span, nowSec)
+		return
 	}
 	// Launch pending tasks.
 	var stillPending []*Task
@@ -551,6 +731,8 @@ func (ts *TaskSet) killSiblings(t *Task, nowSec float64) {
 			a.state = AttemptKilled
 			a.endSec = nowSec
 			a.executor.remove(a)
+			ts.tr.MarkKilled(a.span)
+			ts.tr.End(a.span, nowSec)
 		}
 	}
 }
@@ -569,9 +751,15 @@ func (ts *TaskSet) Kill(nowSec float64) {
 				a.state = AttemptKilled
 				a.endSec = nowSec
 				a.executor.remove(a)
+				ts.tr.MarkKilled(a.span)
+				ts.tr.End(a.span, nowSec)
 			}
 		}
+		// Close task spans (open-guarded: completed tasks keep their end).
+		ts.tr.End(t.span, nowSec)
 	}
+	ts.tr.MarkKilled(ts.span)
+	ts.tr.End(ts.span, nowSec)
 }
 
 // pickExecutor chooses a free slot for a fresh attempt: the least-loaded
@@ -676,9 +864,11 @@ type Accounting struct {
 	TotalSeconds      float64 // runtime of all attempts, incl. killed
 }
 
-// Efficiency returns successful/total (1 when nothing ran).
+// Efficiency returns successful/total, guarding the division: an empty
+// or all-killed set that accumulated no (or, through float cancellation,
+// non-positive) total work wasted nothing, so it scores 1.
 func (a Accounting) Efficiency() float64 {
-	if a.TotalSeconds == 0 {
+	if a.TotalSeconds <= 0 {
 		return 1
 	}
 	return a.SuccessfulSeconds / a.TotalSeconds
@@ -690,14 +880,14 @@ func (a Accounting) Efficiency() float64 {
 // resource-utilization-efficiency accounting).
 func (ts *TaskSet) Account(nowSec float64) Accounting {
 	var acc Accounting
-	for _, t := range ts.tasks {
-		for _, a := range t.attempts {
+	ts.EachTask(func(t *Task) {
+		t.EachAttempt(func(a *Attempt) {
 			rt := a.Runtime(nowSec)
 			acc.TotalSeconds += rt
 			if t.completed == a && !ts.killed {
 				acc.SuccessfulSeconds += rt
 			}
-		}
-	}
+		})
+	})
 	return acc
 }

@@ -8,6 +8,7 @@ import (
 	"perfcloud/internal/core"
 	"perfcloud/internal/exec"
 	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/straggler"
@@ -201,6 +202,9 @@ type MixOutcome struct {
 	Scheme     string
 	JCTs       []float64 // per logical job, in mix order
 	Efficiency float64
+	// Phases aggregates per-attempt phase attribution for the run; zero
+	// unless a trace directory is set (SetTraceDir).
+	Phases trace.PhaseTotals
 }
 
 // runMix executes the mix under one scheme, optionally with antagonists.
@@ -209,12 +213,19 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 	if sch.PerfCloud {
 		pc = ControllerConfig()
 	}
+	tr := newRunTracer()
+	var col *obs.Collector
+	if tr != nil && pc != nil {
+		col = obs.NewCollector()
+		pc.Events = col
+	}
 	tb := NewTestbed(TestbedConfig{
 		Seed:             cfg.Seed,
 		Servers:          cfg.Servers,
 		WorkersPerServer: cfg.WorkersPerServer, BlockBytes: mixBlockBytes,
 		Speculator: sch.Speculator,
 		PerfCloud:  pc,
+		Tracer:     tr,
 	})
 	specs := generateMix(cfg)
 	// One input file per distinct map count keeps DFS setup cheap.
@@ -256,6 +267,18 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 		acc.TotalSeconds += a.TotalSeconds
 	}
 	out.Efficiency = acc.Efficiency()
+	if tr != nil {
+		out.Phases = tr.Totals()
+		name := "fig11-" + sch.Name
+		if !withAntagonists {
+			name += "-baseline"
+		}
+		var events []obs.Event
+		if col != nil {
+			events = col.Events()
+		}
+		writeRunTrace(name, tr, events)
+	}
 	return out
 }
 
@@ -354,6 +377,9 @@ type Fig11Row struct {
 	FracUnder30  float64 // jobs degraded < 30%
 	MeanDegraded float64 // mean degradation across jobs
 	Efficiency   float64 // only populated on the "all" row
+	// Phases carries the run's phase-attribution totals (only on the
+	// "all" row, and only when a trace directory is set).
+	Phases trace.PhaseTotals
 }
 
 // Fig11Result reproduces Figure 11: the per-framework job-performance
@@ -428,6 +454,7 @@ func Fig11With(cfg LargeScaleConfig, schemes []Scheme) Fig11Result {
 			}
 			if fw == "all" {
 				row.Efficiency = out.Efficiency
+				row.Phases = out.Phases
 			}
 			res.Rows = append(res.Rows, *row)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"perfcloud/internal/core"
 	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/straggler"
@@ -45,6 +46,9 @@ type Fig12Row struct {
 	Workload string
 	Scheme   string
 	Summary  stats.Summary // of JCT normalized by the interference-free JCT
+	// Phases sums per-attempt phase attribution across the row's
+	// repetitions; zero unless a trace directory is set (SetTraceDir).
+	Phases trace.PhaseTotals
 }
 
 // Fig12Result reproduces Figure 12: JCT variability across repeated runs
@@ -72,11 +76,14 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	var jobs []job
 	base := make([]float64, len(workloads))
 	jcts := make([][][]float64, len(workloads))
+	phases := make([][][]trace.PhaseTotals, len(workloads))
 	for wi := range workloads {
 		jobs = append(jobs, job{wi: wi, si: -1})
 		jcts[wi] = make([][]float64, len(schemes))
+		phases[wi] = make([][]trace.PhaseTotals, len(schemes))
 		for si := range schemes {
 			jcts[wi][si] = make([]float64, cfg.Runs)
+			phases[wi][si] = make([]trace.PhaseTotals, cfg.Runs)
 			for run := 0; run < cfg.Runs; run++ {
 				jobs = append(jobs, job{wi: wi, si: si, run: run})
 			}
@@ -85,33 +92,46 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	forEachRun(len(jobs), func(k int) {
 		j := jobs[k]
 		if j.si < 0 {
-			base[j.wi] = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false)
+			base[j.wi], _ = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false,
+				fmt.Sprintf("fig12-%s-baseline", workloads[j.wi]))
 			return
 		}
-		jcts[j.wi][j.si][j.run] = fig12Run(cfg, cfg.Seed+int64(j.run)*997, workloads[j.wi], schemes[j.si], true)
+		jcts[j.wi][j.si][j.run], phases[j.wi][j.si][j.run] = fig12Run(
+			cfg, cfg.Seed+int64(j.run)*997, workloads[j.wi], schemes[j.si], true,
+			fmt.Sprintf("fig12-%s-%s-run%02d", workloads[j.wi], schemes[j.si].Name, j.run))
 	})
 	var res Fig12Result
 	for wi, workload := range workloads {
 		for si, sch := range schemes {
 			var norm []float64
-			for _, jct := range jcts[wi][si] {
+			var pt trace.PhaseTotals
+			for run, jct := range jcts[wi][si] {
 				norm = append(norm, jct/base[wi])
+				pt.Add(phases[wi][si][run])
 			}
 			res.Rows = append(res.Rows, Fig12Row{
 				Workload: workload,
 				Scheme:   sch.Name,
 				Summary:  stats.Summarize(norm),
+				Phases:   pt,
 			})
 		}
 	}
 	return res
 }
 
-// fig12Run executes one repetition and returns the logical JCT.
-func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool) float64 {
+// fig12Run executes one repetition, returning the logical JCT and the
+// repetition's phase totals (zero when tracing is off).
+func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool, traceName string) (float64, trace.PhaseTotals) {
 	var pc *core.Config
 	if sch.PerfCloud {
 		pc = ControllerConfig()
+	}
+	tr := newRunTracer()
+	var col *obs.Collector
+	if tr != nil && pc != nil {
+		col = obs.NewCollector()
+		pc.Events = col
 	}
 	tb := NewTestbed(TestbedConfig{
 		Seed:             seed,
@@ -120,6 +140,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		Speculator:       sch.Speculator,
 		PerfCloud:        pc,
 		BlockBytes:       mixBlockBytes,
+		Tracer:           tr,
 	})
 	inputBytes := float64(cfg.Tasks) * mixBlockBytes
 	tb.MustInput("input", inputBytes)
@@ -144,12 +165,24 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		}
 		return a
 	}
+	finish := func(jct float64) (float64, trace.PhaseTotals) {
+		var pt trace.PhaseTotals
+		if tr != nil {
+			pt = tr.Totals()
+			var events []obs.Event
+			if col != nil {
+				events = col.Events()
+			}
+			writeRunTrace(traceName, tr, events)
+		}
+		return jct, pt
+	}
 	if sch.Clones <= 1 {
 		c := submit()
 		if !tb.Eng.RunUntil(c.Done, cfg.Limit) {
 			panic(fmt.Sprintf("experiments: fig12 %s/%s stuck", workload, sch.Name))
 		}
-		return c.JCT()
+		return finish(c.JCT())
 	}
 	clones := make([]straggler.Clone, 0, sch.Clones)
 	for i := 0; i < sch.Clones; i++ {
@@ -159,7 +192,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 	if !tb.Eng.RunUntil(g.Done, cfg.Limit) {
 		panic(fmt.Sprintf("experiments: fig12 %s/%s clone race stuck", workload, sch.Name))
 	}
-	return g.JCT()
+	return finish(g.JCT())
 }
 
 // Table renders the Figure 12 box-plot statistics.

@@ -21,6 +21,7 @@ import (
 	"perfcloud/internal/sim"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/straggler"
+	"perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
 )
 
@@ -43,6 +44,10 @@ type TestbedConfig struct {
 	// SlowFactor (0 = 0.5). The paper's §IV-D2 future-work setting.
 	SlowServers int
 	SlowFactor  float64
+	// Tracer, when non-nil, is attached to every executor and both
+	// frameworks: jobs, stages, tasks and attempts are recorded as spans
+	// with per-phase time attribution.
+	Tracer *trace.Tracer
 }
 
 // Testbed is a fully wired simulated deployment.
@@ -141,7 +146,21 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		tb.Sys = core.Attach(tb.Eng, tb.Clus, tb.CM, *cfg.PerfCloud)
 	}
 	trackCluster(tb.Clus)
+	if cfg.Tracer != nil {
+		tb.AttachTracer(cfg.Tracer)
+	}
 	return tb
+}
+
+// AttachTracer wires a span tracer into every executor and both
+// frameworks. Call before submitting work (NewTestbed does this when
+// TestbedConfig.Tracer is set).
+func (tb *Testbed) AttachTracer(tr *trace.Tracer) {
+	for _, e := range tb.Pool {
+		e.SetTracer(tr)
+	}
+	tb.JT.SetTracer(tr)
+	tb.Driver.SetTracer(tr)
 }
 
 // AddAntagonist boots a low-priority VM on the given server index and

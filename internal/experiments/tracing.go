@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"perfcloud/internal/obs"
+	"perfcloud/internal/trace"
+)
+
+// Per-repetition trace export: when a trace directory is set, every
+// experiment repetition (each an independent engine) records a full span
+// tree and writes one Perfetto JSON file into the directory. Off by
+// default — tracing a paper-size Fig. 11 mix records hundreds of
+// thousands of spans per repetition.
+var (
+	trMu  sync.Mutex
+	trDir string
+)
+
+// SetTraceDir enables per-repetition trace export into dir ("" disables).
+// The caller is responsible for the directory existing.
+func SetTraceDir(dir string) {
+	trMu.Lock()
+	defer trMu.Unlock()
+	trDir = dir
+}
+
+// traceDir returns the current trace directory ("" when tracing is off).
+func traceDir() string {
+	trMu.Lock()
+	defer trMu.Unlock()
+	return trDir
+}
+
+// newRunTracer returns a tracer for one repetition, or nil when tracing
+// is off. Repetitions run concurrently but each gets its own tracer.
+func newRunTracer() *trace.Tracer {
+	if traceDir() == "" {
+		return nil
+	}
+	return trace.NewTracer()
+}
+
+// writeRunTrace exports one repetition's trace as <dir>/<name>.json.
+// No-op when tracing is off. Like the rest of the experiment harness it
+// panics on failure: a misconfigured output path is a setup bug.
+func writeRunTrace(name string, tr *trace.Tracer, events []obs.Event) {
+	dir := traceDir()
+	if dir == "" || tr == nil {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: create trace: %v", err))
+	}
+	if err := tr.WritePerfetto(f, events); err != nil {
+		f.Close()
+		panic(fmt.Sprintf("experiments: write trace: %v", err))
+	}
+	if err := f.Close(); err != nil {
+		panic(fmt.Sprintf("experiments: close trace: %v", err))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"perfcloud/internal/dfs"
 	"perfcloud/internal/exec"
 	"perfcloud/internal/sim"
+	"perfcloud/internal/trace"
 )
 
 // TaskShape bundles the per-byte compute intensity and memory behaviour
@@ -103,9 +104,15 @@ type Job struct {
 	reduceSet *exec.TaskSet
 	spec      exec.Speculator
 
+	tr   *trace.Tracer
+	span trace.SpanID
+
 	submitSec float64
 	finishSec float64
 }
+
+// Span returns the job's trace span (trace.NoSpan when tracing is off).
+func (j *Job) Span() trace.SpanID { return j.span }
 
 // ID returns the job id.
 func (j *Job) ID() string { return j.id }
@@ -169,6 +176,8 @@ func (j *Job) Kill(nowSec float64) {
 	}
 	j.state = StateKilled
 	j.finishSec = nowSec
+	j.tr.MarkKilled(j.span)
+	j.tr.End(j.span, nowSec)
 }
 
 // JobTracker schedules jobs over a pool of task-tracker executors.
@@ -180,7 +189,12 @@ type JobTracker struct {
 	jobs   []*Job
 	nextID int
 	spec   exec.Speculator // default speculator for new jobs (may be nil)
+	tr     *trace.Tracer   // nil when tracing is off
 }
+
+// SetTracer attaches a span tracer: subsequent Submits open job spans
+// and their task sets are traced. Attach before submitting jobs.
+func (jt *JobTracker) SetTracer(tr *trace.Tracer) { jt.tr = tr }
 
 // NewJobTracker creates a tracker over the executor pool and filesystem.
 func NewJobTracker(pool exec.Pool, fs *dfs.FileSystem, spec exec.Speculator) *JobTracker {
@@ -208,8 +222,11 @@ func (jt *JobTracker) Submit(cfg JobConfig, nowSec float64) (*Job, error) {
 		cfg:       cfg,
 		file:      f,
 		spec:      jt.spec,
+		tr:        jt.tr,
+		span:      trace.NoSpan,
 		submitSec: nowSec,
 	}
+	j.span = j.tr.Start(trace.KindJob, j.id, "", trace.NoSpan, nowSec)
 	jt.nextID++
 	jt.jobs = append(jt.jobs, j)
 	return j, nil
@@ -233,6 +250,7 @@ func (jt *JobTracker) advance(j *Job, now float64) {
 	switch j.state {
 	case StateQueued:
 		j.mapSet = exec.NewTaskSet(j.id+"/map", jt.mapSpecs(j), j.spec)
+		j.mapSet.Trace(j.tr, j.span, now)
 		j.state = StateMap
 		j.mapSet.Tick(now, jt.pool)
 	case StateMap:
@@ -241,9 +259,11 @@ func (jt *JobTracker) advance(j *Job, now float64) {
 			if j.cfg.NumReduces == 0 {
 				j.state = StateCompleted
 				j.finishSec = now
+				j.tr.End(j.span, now)
 				return
 			}
 			j.reduceSet = exec.NewTaskSet(j.id+"/reduce", jt.reduceSpecs(j), j.spec)
+			j.reduceSet.Trace(j.tr, j.span, now)
 			j.state = StateReduce
 			j.reduceSet.Tick(now, jt.pool)
 		}
@@ -252,6 +272,7 @@ func (jt *JobTracker) advance(j *Job, now float64) {
 		if j.reduceSet.Done() {
 			j.state = StateCompleted
 			j.finishSec = now
+			j.tr.End(j.span, now)
 		}
 	}
 }

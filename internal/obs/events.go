@@ -177,6 +177,31 @@ func (s *JSONLSink) Flush() error {
 	return s.err
 }
 
+// Collector retains every emitted event in order, for post-run export —
+// the trace exporter renders cap/release/migrate events as instant
+// markers on the Perfetto timeline. Safe for concurrent Emit.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+// Events returns the collected events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
 // Ring keeps the most recent events in a fixed-size buffer, for a live
 // /debug/events endpoint. Safe for concurrent Emit and Events.
 type Ring struct {

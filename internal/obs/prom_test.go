@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusZeroObservationHistogram locks in the exposition of
+// a histogram that never saw a sample: every bucket (including +Inf),
+// the sum and the count must render as zero rather than being omitted.
+func TestWritePrometheusZeroObservationHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "Never observed.", []float64{0.1, 1})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`idle_seconds_bucket{le="0.1"} 0`,
+		`idle_seconds_bucket{le="1"} 0`,
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		`idle_seconds_sum 0`,
+		`idle_seconds_count 0`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusInfBucketCumulative checks the +Inf bucket equals
+// the total count even when samples exceed every finite bound.
+func TestWritePrometheusInfBucketCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 10})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_bucket{le="1"} 1`,
+		`lat_bucket{le="10"} 2`,
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_count 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusLabelValueEscaping covers backslash, quote and
+// newline in label values — they must be escaped per the text format so
+// one hostile value cannot corrupt the whole exposition.
+func TestWritePrometheusLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", Label{Key: "path", Value: "a\"b\\c\nd"}).Add(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `c{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("missing escaped series %q in:\n%s", want, b.String())
+	}
+}
+
+// TestWritePrometheusNilRegistry: a nil registry renders nothing.
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry wrote %q", b.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"perfcloud/internal/exec"
 	"perfcloud/internal/sim"
+	"perfcloud/internal/trace"
 )
 
 // StageShape bundles a stage's per-task memory behaviour.
@@ -95,9 +96,15 @@ type App struct {
 	stagesRun []*exec.TaskSet
 	spec      exec.Speculator
 
+	tr   *trace.Tracer
+	span trace.SpanID
+
 	submitSec float64
 	finishSec float64
 }
+
+// Span returns the app's trace span (trace.NoSpan when tracing is off).
+func (a *App) Span() trace.SpanID { return a.span }
 
 // ID returns the application id.
 func (a *App) ID() string { return a.id }
@@ -152,6 +159,8 @@ func (a *App) Kill(nowSec float64) {
 	}
 	a.state = StateKilled
 	a.finishSec = nowSec
+	a.tr.MarkKilled(a.span)
+	a.tr.End(a.span, nowSec)
 }
 
 // Driver schedules applications over a pool of Spark executors.
@@ -161,7 +170,12 @@ type Driver struct {
 	apps   []*App
 	nextID int
 	spec   exec.Speculator
+	tr     *trace.Tracer // nil when tracing is off
 }
+
+// SetTracer attaches a span tracer: subsequent Submits open job spans
+// and their stages are traced. Attach before submitting apps.
+func (d *Driver) SetTracer(tr *trace.Tracer) { d.tr = tr }
 
 // NewDriver creates a driver over the executor pool. The speculator (may
 // be nil) applies to all stages of all submitted apps.
@@ -189,8 +203,11 @@ func (d *Driver) Submit(cfg AppConfig, nowSec float64) (*App, error) {
 		id:        fmt.Sprintf("%s-%d", cfg.Name, d.nextID),
 		cfg:       cfg,
 		spec:      d.spec,
+		tr:        d.tr,
+		span:      trace.NoSpan,
 		submitSec: nowSec,
 	}
+	a.span = a.tr.Start(trace.KindJob, a.id, "", trace.NoSpan, nowSec)
 	d.nextID++
 	d.apps = append(d.apps, a)
 	return a, nil
@@ -222,6 +239,7 @@ func (d *Driver) advance(a *App, now float64) {
 		if a.stageIdx >= len(a.cfg.Stages) {
 			a.state = StateCompleted
 			a.finishSec = now
+			a.tr.End(a.span, now)
 			return
 		}
 		d.startStage(a, now)
@@ -254,6 +272,7 @@ func (d *Driver) startStage(a *App, now float64) {
 		}
 	}
 	a.stage = exec.NewTaskSet(fmt.Sprintf("%s/s%02d", a.id, a.stageIdx), specs, a.spec)
+	a.stage.Trace(a.tr, a.span, now)
 	a.stagesRun = append(a.stagesRun, a.stage)
 }
 

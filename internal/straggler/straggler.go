@@ -53,14 +53,22 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 	var rates []float64
 	var running []*exec.Attempt
 	speculating := 0
-	for _, a := range ts.RunningAttempts() {
-		if a.Speculative() {
-			speculating++
-			continue
-		}
-		running = append(running, a)
-		rates = append(rates, a.ProgressRate(nowSec))
-	}
+	// Iterate the live structures directly (tasks are created in id
+	// order, so this matches the sorted order RunningAttempts would
+	// give) instead of allocating a sorted copy every tick.
+	ts.EachTask(func(t *exec.Task) {
+		t.EachAttempt(func(a *exec.Attempt) {
+			if a.State() != exec.AttemptRunning {
+				return
+			}
+			if a.Speculative() {
+				speculating++
+				return
+			}
+			running = append(running, a)
+			rates = append(rates, a.ProgressRate(nowSec))
+		})
+	})
 	if len(running) == 0 {
 		return nil
 	}
@@ -78,7 +86,7 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 		if a.Runtime(nowSec) < l.MinRuntimeSec {
 			continue
 		}
-		if len(a.Task().Running()) > 1 {
+		if runningCount(a.Task()) > 1 {
 			continue // already has a backup
 		}
 		rate := a.ProgressRate(nowSec)
@@ -99,6 +107,18 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 	return out
 }
 
+// runningCount counts a task's running attempts without allocating the
+// slice Task.Running builds.
+func runningCount(t *exec.Task) int {
+	n := 0
+	t.EachAttempt(func(a *exec.Attempt) {
+		if a.State() == exec.AttemptRunning {
+			n++
+		}
+	})
+	return n
+}
+
 // Naive is Hadoop's default progress-gap speculator: back up any task
 // whose progress trails the running average by Gap after MinRuntimeSec.
 type Naive struct {
@@ -115,13 +135,15 @@ var _ exec.Speculator = (*Naive)(nil)
 func (n *Naive) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 	var progress []float64
 	var running []*exec.Attempt
-	for _, a := range ts.RunningAttempts() {
-		if a.Speculative() {
-			continue
-		}
-		running = append(running, a)
-		progress = append(progress, a.Progress())
-	}
+	ts.EachTask(func(t *exec.Task) {
+		t.EachAttempt(func(a *exec.Attempt) {
+			if a.State() != exec.AttemptRunning || a.Speculative() {
+				return
+			}
+			running = append(running, a)
+			progress = append(progress, a.Progress())
+		})
+	})
 	if len(running) == 0 {
 		return nil
 	}
@@ -131,7 +153,7 @@ func (n *Naive) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 		if a.Runtime(nowSec) < n.MinRuntimeSec {
 			continue
 		}
-		if len(a.Task().Running()) > 1 {
+		if runningCount(a.Task()) > 1 {
 			continue
 		}
 		if a.Progress() < avg-n.Gap {

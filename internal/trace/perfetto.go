@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfcloud/internal/obs"
+)
+
+// WritePerfetto encodes the tracer's closed spans as a Chrome-trace-event
+// JSON object ("traceEvents" array), the format Perfetto and
+// chrome://tracing open directly.
+//
+// Layout: process 1 ("executors") has one thread per executor slot, and
+// every attempt span renders there as a duration event whose args carry
+// the phase attribution. Process 2 ("jobs") has one thread per job on
+// which the job span and its sequential task-set (wave/stage) spans
+// nest. Logical task spans are recorded by the tracer but not rendered —
+// tasks of one wave overlap in time, which duration events on a single
+// thread cannot express; their queue wait is visible through the report
+// tables instead. Process 3 ("control") renders cap/release/migrate
+// events from the control-plane audit log (one thread per server) as
+// instant events, so throttle decisions line up with the attempts they
+// slowed.
+//
+// The encoding is hand-rolled with fixed field order, sorted track
+// numbering and creation-order spans: a deterministic simulation
+// produces byte-identical output (asserted by
+// TestSameSeedTracesAreByteIdentical). Timestamps are microseconds, as
+// the format requires.
+func (t *Tracer) WritePerfetto(w io.Writer, events []obs.Event) error {
+	bw := bufio.NewWriter(w)
+	enc := perfettoEncoder{w: bw}
+
+	// Track numbering. Executor-slot threads are numbered by sorted
+	// track name; job threads by job-span creation order; control
+	// threads by sorted server id.
+	slotTid := map[string]int{}
+	var slotNames []string
+	jobTid := map[SpanID]int{}
+	var jobNames []string
+	spans := t.Spans()
+	for i := range spans {
+		s := &spans[i]
+		switch {
+		case s.Kind == KindAttempt && s.Track != "":
+			if _, ok := slotTid[s.Track]; !ok {
+				slotTid[s.Track] = 0 // numbered after the sort below
+				slotNames = append(slotNames, s.Track)
+			}
+		case s.Kind == KindJob, s.Kind == KindTaskSet && s.Parent == NoSpan:
+			jobTid[s.ID] = len(jobNames) + 1
+			jobNames = append(jobNames, s.Name)
+		}
+	}
+	sort.Strings(slotNames)
+	for i, name := range slotNames {
+		slotTid[name] = i + 1
+	}
+	serverTid := map[string]int{}
+	var serverNames []string
+	for _, e := range events {
+		if !controlEvent(e.Type) {
+			continue
+		}
+		if _, ok := serverTid[e.Server]; !ok {
+			serverTid[e.Server] = 0
+			serverNames = append(serverNames, e.Server)
+		}
+	}
+	sort.Strings(serverNames)
+	for i, name := range serverNames {
+		serverTid[name] = i + 1
+	}
+
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+
+	// Metadata first: process and thread names.
+	if len(slotNames) > 0 {
+		enc.meta("process_name", 1, 0, "executors")
+		for _, name := range slotNames {
+			enc.meta("thread_name", 1, slotTid[name], name)
+		}
+	}
+	if len(jobNames) > 0 {
+		enc.meta("process_name", 2, 0, "jobs")
+		for i, name := range jobNames {
+			enc.meta("thread_name", 2, i+1, name)
+		}
+	}
+	if len(serverNames) > 0 {
+		enc.meta("process_name", 3, 0, "control")
+		for _, name := range serverNames {
+			enc.meta("thread_name", 3, serverTid[name], name)
+		}
+	}
+
+	// Duration events, in span-creation order.
+	for i := range spans {
+		s := &spans[i]
+		if s.Open {
+			continue
+		}
+		switch s.Kind {
+		case KindAttempt:
+			if s.Track == "" {
+				continue
+			}
+			enc.attempt(s, slotTid[s.Track])
+		case KindJob:
+			enc.duration(s, 2, jobTid[s.ID])
+		case KindTaskSet:
+			tid, ok := jobTid[s.ID]
+			if !ok {
+				tid, ok = jobTid[s.Parent]
+			}
+			if ok {
+				enc.duration(s, 2, tid)
+			}
+		}
+	}
+
+	// Control-plane instants, in audit-log (simulation-time) order.
+	for _, e := range events {
+		if controlEvent(e.Type) {
+			enc.instant(e, serverTid[e.Server])
+		}
+	}
+
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// controlEvent reports whether an audit-log event is a control action
+// worth an instant marker on the trace.
+func controlEvent(t obs.EventType) bool {
+	return t == obs.EventCap || t == obs.EventRelease || t == obs.EventMigrate
+}
+
+// perfettoEncoder hand-writes trace events with fixed field order.
+type perfettoEncoder struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+// sep writes the element separator before every event after the first.
+func (e *perfettoEncoder) sep() {
+	if e.wrote {
+		e.w.WriteByte(',')
+	}
+	e.wrote = true
+}
+
+// meta writes a metadata event naming a process or thread.
+func (e *perfettoEncoder) meta(kind string, pid, tid int, name string) {
+	e.sep()
+	e.w.WriteString(`{"name":"`)
+	e.w.WriteString(kind)
+	e.w.WriteString(`","ph":"M","pid":`)
+	e.w.WriteString(strconv.Itoa(pid))
+	e.w.WriteString(`,"tid":`)
+	e.w.WriteString(strconv.Itoa(tid))
+	e.w.WriteString(`,"args":{"name":`)
+	e.w.WriteString(quoteJSON(name))
+	e.w.WriteString(`}}`)
+}
+
+// header writes the shared prefix of a duration event up to its args.
+func (e *perfettoEncoder) header(s *Span, pid, tid int) {
+	e.sep()
+	e.w.WriteString(`{"name":`)
+	e.w.WriteString(quoteJSON(s.Name))
+	e.w.WriteString(`,"cat":"`)
+	e.w.WriteString(s.Kind.String())
+	e.w.WriteString(`","ph":"X","pid":`)
+	e.w.WriteString(strconv.Itoa(pid))
+	e.w.WriteString(`,"tid":`)
+	e.w.WriteString(strconv.Itoa(tid))
+	e.w.WriteString(`,"ts":`)
+	e.w.WriteString(jsonFloat(s.StartSec * 1e6))
+	e.w.WriteString(`,"dur":`)
+	e.w.WriteString(jsonFloat((s.EndSec - s.StartSec) * 1e6))
+}
+
+// duration writes a job or task-set span without phase args.
+func (e *perfettoEncoder) duration(s *Span, pid, tid int) {
+	e.header(s, pid, tid)
+	if s.Killed {
+		e.w.WriteString(`,"args":{"killed":true}`)
+	}
+	e.w.WriteString(`}`)
+}
+
+// attempt writes an attempt span with the full phase attribution.
+func (e *perfettoEncoder) attempt(s *Span, tid int) {
+	e.header(s, 1, tid)
+	e.w.WriteString(`,"args":{`)
+	for p := 0; p < NumPhases; p++ {
+		if p > 0 {
+			e.w.WriteByte(',')
+		}
+		e.w.WriteString(`"`)
+		e.w.WriteString(Phase(p).String())
+		e.w.WriteString(`_s":`)
+		e.w.WriteString(jsonFloat(s.Phases[p]))
+	}
+	e.w.WriteString(`,"speculative":`)
+	e.w.WriteString(strconv.FormatBool(s.Speculative))
+	e.w.WriteString(`,"killed":`)
+	e.w.WriteString(strconv.FormatBool(s.Killed))
+	e.w.WriteString(`,"cached_input":`)
+	e.w.WriteString(strconv.FormatBool(s.CachedInput))
+	e.w.WriteString(`,"cache_saved_s":`)
+	e.w.WriteString(jsonFloat(s.CacheSavedSec))
+	e.w.WriteString(`}}`)
+}
+
+// instant writes one control action as a thread-scoped instant event.
+func (e *perfettoEncoder) instant(ev obs.Event, tid int) {
+	e.sep()
+	name := string(ev.Type)
+	if ev.Res != "" {
+		name += " " + ev.Res
+	}
+	if ev.VM != "" {
+		name += " " + ev.VM
+	}
+	e.w.WriteString(`{"name":`)
+	e.w.WriteString(quoteJSON(name))
+	e.w.WriteString(`,"cat":"control","ph":"i","s":"t","pid":3,"tid":`)
+	e.w.WriteString(strconv.Itoa(tid))
+	e.w.WriteString(`,"ts":`)
+	e.w.WriteString(jsonFloat(ev.T * 1e6))
+	e.w.WriteString(`,"args":{"vm":`)
+	e.w.WriteString(quoteJSON(ev.VM))
+	e.w.WriteString(`,"res":`)
+	e.w.WriteString(quoteJSON(ev.Res))
+	e.w.WriteString(`,"old_cap":`)
+	e.w.WriteString(jsonFloat(ev.OldCap))
+	e.w.WriteString(`,"new_cap":`)
+	e.w.WriteString(jsonFloat(ev.NewCap))
+	e.w.WriteString(`}}`)
+}
+
+// jsonFloat formats a float as a JSON number (shortest round-trip form,
+// deterministic for a given value).
+func jsonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quoteJSON escapes a string as a JSON string literal. Span and VM names
+// are ASCII identifiers; the escaper still covers quotes, backslashes
+// and control bytes so arbitrary names cannot corrupt the document.
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			b.WriteString(`\u00`)
+			b.WriteByte(hex[c>>4])
+			b.WriteByte(hex[c&0xf])
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
