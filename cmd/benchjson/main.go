@@ -20,6 +20,17 @@
 //	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
 //	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json
 //	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json -max-regress 5
+//
+// Results that never pass through `go test` — the per-figure wall-clock
+// entries perfbench -suite merges straight into its JSON file — can be
+// gated too: -injson FILE takes the results from a benchfmt JSON file
+// instead of stdin, and -filter REGEX restricts which names are
+// compared, so CI can hold just FigSuite/Fig11 and FigSuite/Fig12
+// against the committed BENCH_suite.json baseline:
+//
+//	perfbench -suite -suitejson fresh.json
+//	benchjson -injson fresh.json -filter 'FigSuite/Fig1[12]$' \
+//	  -baseline BENCH_suite.json -max-regress 25
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 
 	"perfcloud/internal/benchfmt"
 )
@@ -36,26 +48,48 @@ func main() {
 	out := flag.String("o", "", "JSON file to merge results into (default stdout, suppressing the echo)")
 	baseline := flag.String("baseline", "", "baseline JSON file to diff the parsed results against")
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit non-zero if any ns/op regressed by more than this percentage (0 = report only)")
+	injson := flag.String("injson", "", "benchfmt JSON file to read results from instead of parsing stdin")
+	filter := flag.String("filter", "", "regexp: only results whose name matches are compared and merged")
 	flag.Parse()
 	if *maxRegress != 0 && *baseline == "" {
 		fatal(fmt.Errorf("-max-regress requires -baseline"))
 	}
 
-	echo := *out != "" || *baseline != ""
 	var results []benchfmt.Result
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if echo {
-			fmt.Println(line)
+	if *injson != "" {
+		var err error
+		if results, err = benchfmt.ReadFile(*injson); err != nil {
+			fatal(err)
 		}
-		if r, ok := benchfmt.ParseLine(line); ok {
-			results = append(results, r)
+	} else {
+		echo := *out != "" || *baseline != ""
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if echo {
+				fmt.Println(line)
+			}
+			if r, ok := benchfmt.ParseLine(line); ok {
+				results = append(results, r)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			fatal(err)
+		}
+		kept := results[:0]
+		for _, r := range results {
+			if re.MatchString(r.Name) {
+				kept = append(kept, r)
+			}
+		}
+		results = kept
 	}
 
 	if *baseline != "" {

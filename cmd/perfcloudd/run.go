@@ -11,6 +11,7 @@ import (
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/mapreduce"
 	"perfcloud/internal/obs"
+	"perfcloud/internal/sim"
 	tracing "perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
 )
@@ -70,6 +71,10 @@ func run(cfg runConfig) error {
 		"Grant phases that reused the previous demand vectors.")
 	gRebuilds := cfg.Metrics.Gauge("perfcloud_fastpath_rebuilds",
 		"Grant phases that rebuilt the demand vectors.")
+	gStrides := cfg.Metrics.Gauge("perfcloud_fastpath_stride_skips",
+		"Whole-cluster ticks elided by event-driven strides.")
+	gHorizons := cfg.Metrics.Gauge("perfcloud_fastpath_horizon_recomputes",
+		"Next-event horizon computations backing the strides.")
 	memoHits := [3]*obs.Gauge{}
 	memoMisses := [3]*obs.Gauge{}
 	for i, res := range []string{"cpu", "mem", "disk"} {
@@ -86,6 +91,8 @@ func run(cfg runConfig) error {
 		gSkips.Set(float64(fp.QuiescentSkips))
 		gSteady.Set(float64(fp.SteadyReuses))
 		gRebuilds.Set(float64(fp.Rebuilds))
+		gStrides.Set(float64(fp.StrideSkips))
+		gHorizons.Set(float64(fp.HorizonRecomputes))
 		hits := [3]uint64{fp.CPUMemoHits, fp.MemMemoHits, fp.DiskMemoHits}
 		misses := [3]uint64{fp.CPUMemoMisses, fp.MemMemoMisses, fp.DiskMemoMisses}
 		for i := range hits {
@@ -125,8 +132,21 @@ func run(cfg runConfig) error {
 	nm := tb.Sys.Managers()[0]
 	ticks := int64(cfg.Duration / tb.Eng.Clock().TickSize())
 	nextObserve := interval
-	for i := int64(0); i < ticks; i++ {
-		tb.Eng.Step()
+	st := tb.Stepper()
+	for i := int64(0); i < ticks; {
+		i += st.Step(func(clk *sim.Clock) int64 {
+			// Stop at completions (the resubmission below must happen on the
+			// same tick per-tick stepping would use) and before the next
+			// daemon observation so its gauges sample the same instants.
+			if doneFn() {
+				return 0
+			}
+			b := ticks - i - 1
+			if nb := clk.TicksBefore(nextObserve, b); nb < b {
+				b = nb
+			}
+			return b
+		})
 		now := tb.Eng.Clock().Seconds()
 		if doneFn() {
 			fmt.Fprintf(cfg.Log, "[%7.1fs] hadoop: terasort finished, resubmitting\n", now)

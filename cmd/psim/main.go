@@ -7,7 +7,7 @@
 //
 //	psim [-servers N] [-workers N] [-scheme default|late|dolly-2|dolly-4|perfcloud]
 //	     [-workload terasort|wordcount|inverted-index|spark-logreg|spark-pagerank|spark-svm]
-//	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v]
+//	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v] [-stride on|off]
 //	     [-trace FILE] [-phase-report] [-phase-csv]
 //
 // -trace writes a Chrome-trace-event/Perfetto JSON timeline of every
@@ -22,6 +22,7 @@ import (
 	"os"
 	"time"
 
+	"perfcloud/internal/cluster"
 	"perfcloud/internal/core"
 	"perfcloud/internal/experiments"
 	"perfcloud/internal/mapreduce"
@@ -42,10 +43,20 @@ func main() {
 	nstream := flag.Int("streams", 1, "STREAM antagonist VMs")
 	seed := flag.Int64("seed", 42, "random seed")
 	verbose := flag.Bool("v", false, "print every control interval")
+	stride := flag.String("stride", "on", "event-driven time advancement: on|off (off forces per-tick stepping)")
 	traceFile := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
 	phaseReport := flag.Bool("phase-report", false, "print per-job phase attribution and critical path")
 	phaseCSV := flag.Bool("phase-csv", false, "emit the phase tables as CSV instead of text")
 	flag.Parse()
+
+	switch *stride {
+	case "on":
+	case "off":
+		cluster.SetDefaultStride(false)
+	default:
+		fmt.Fprintf(os.Stderr, "psim: -stride must be on or off, got %q\n", *stride)
+		os.Exit(2)
+	}
 
 	cfg := experiments.TestbedConfig{
 		Seed:             *seed,
@@ -123,7 +134,7 @@ func main() {
 			}
 			g := tb.Dolly.Watch(fmt.Sprintf("job-%d", i), clones...)
 			watch = g.Done
-			if !tb.Eng.RunUntil(watch, time.Hour) {
+			if !tb.Stepper().RunUntil(watch, time.Hour) {
 				fmt.Fprintln(os.Stderr, "psim: job did not finish")
 				os.Exit(1)
 			}
@@ -132,7 +143,7 @@ func main() {
 			continue
 		}
 		c := spawn()
-		if !tb.Eng.RunUntil(c.Done, time.Hour) {
+		if !tb.Stepper().RunUntil(c.Done, time.Hour) {
 			fmt.Fprintln(os.Stderr, "psim: job did not finish")
 			os.Exit(1)
 		}

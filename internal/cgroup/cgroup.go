@@ -127,8 +127,15 @@ func (c *Cgroup) AddPerf(cycles, instructions, llcRefs, llcMisses float64) {
 // AddCPU + AddPerf; the cluster's per-tick accounting uses it so each VM
 // costs one mutex acquisition per tick instead of three.
 func (c *Cgroup) AddTick(ops, bytes, waitMs, coreSeconds, cycles, instructions, llcRefs, llcMisses float64) {
+	if ops == 0 && bytes == 0 && waitMs == 0 && coreSeconds == 0 &&
+		cycles == 0 && instructions == 0 && llcRefs == 0 && llcMisses == 0 {
+		// A tick that delivered nothing leaves every counter bit-identical:
+		// the counters are sums of nonnegative values (so never -0), and
+		// adding zero to such a float is exact. Skipping the lock round-trip
+		// makes idle-VM ticks on busy servers free.
+		return
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.counters.Blkio.IoServiced += ops
 	c.counters.Blkio.IoServiceBytes += bytes
 	c.counters.Blkio.IoWaitTimeMs += waitMs
@@ -137,6 +144,7 @@ func (c *Cgroup) AddTick(ops, bytes, waitMs, coreSeconds, cycles, instructions, 
 	c.counters.Perf.Instructions += instructions
 	c.counters.Perf.LLCReferences += llcRefs
 	c.counters.Perf.LLCMisses += llcMisses
+	c.mu.Unlock()
 }
 
 // Snapshot returns a copy of all cumulative counters.

@@ -1,7 +1,5 @@
 package cluster
 
-import "sort"
-
 // ContentCache models the host page cache's effect on repeated block
 // reads: when a task reads a block that a colocated task recently read,
 // the data comes from memory, not the shared disk. This is the mechanism
@@ -77,17 +75,13 @@ func (c *ContentCache) UsedBytes() float64 { return c.used }
 // evictLRU removes the least-recently-used entry (deterministically
 // tie-broken by key).
 func (c *ContentCache) evictLRU() {
+	// One pass over the map picks the same victim the old sort-then-scan
+	// did: the smallest key among entries with the minimum lastUsed.
 	var victim string
 	oldest := 0.0
 	first := true
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		e := c.entries[k]
-		if first || e.lastUsed < oldest {
+	for k, e := range c.entries {
+		if first || e.lastUsed < oldest || (e.lastUsed == oldest && k < victim) {
 			victim, oldest, first = k, e.lastUsed, false
 		}
 	}

@@ -122,6 +122,27 @@ type VM struct {
 	epocher  DemandEpocher // workload's demand-epoch view; nil if unsupported
 
 	lastGrant Grant
+
+	// thrCache memoises cg.Throttle() keyed by the cgroup's lock-free
+	// ThrottleSeq, so rebuild ticks read the caps without a mutex
+	// round-trip per VM. Valid only while thrSeq matches; see throttle().
+	thrCache cgroup.Throttle
+	thrSeq   uint64
+	thrValid bool
+}
+
+// throttle returns the VM's current cgroup caps, serving repeats from a
+// seq-validated cache. SetThrottle bumps the cgroup's atomic sequence
+// counter, so a matching sequence proves the cached copy is bit-identical
+// to what Throttle() would return.
+func (v *VM) throttle() cgroup.Throttle {
+	seq := v.cg.ThrottleSeq()
+	if !v.thrValid || seq != v.thrSeq {
+		v.thrCache = v.cg.Throttle()
+		v.thrSeq = seq
+		v.thrValid = true
+	}
+	return v.thrCache
 }
 
 // ID returns the VM's unique identifier.
@@ -240,6 +261,23 @@ type Server struct {
 	lastTickSec  float64
 	epochs       []uint64
 	throttleSeqs []uint64
+
+	// fused arms the fused steady tick: set after a non-idle grant phase
+	// leaves every allocator's input memo primed for the unchanged request
+	// vectors, so the next steady tick can skip the idle scan, the memo
+	// equality re-checks and the grant/result buffer copies, replaying only
+	// the per-tick draws in place (see grantPhase). Guarded per tick by
+	// steadyUsable plus each model's SteadyReady, so it degrades to the
+	// ordinary paths the moment anything moves.
+	fused bool
+
+	// idleFlags caches each VM's idleness as observed by the most recent
+	// grant-phase idle scan, index-aligned with vms. advancePhase reads it
+	// instead of re-asking every workload: on fused ticks the scan is
+	// skipped precisely because idleness provably cannot have changed
+	// (Done is covered by the demand-epoch contract), and on every other
+	// tick the scan has just refreshed the flags.
+	idleFlags []bool
 
 	// Cumulative fast-path accounting: grant-phase ticks elided by
 	// quiescence, grant phases served by demand reuse, and grant phases
@@ -362,6 +400,36 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	if n == 0 {
 		return
 	}
+	// Fused steady tick: armed only after a non-idle tick primed every
+	// allocator's memo for the current request vectors. While the demand
+	// epochs, throttles and tick length hold (steadyUsable) the vectors are
+	// provably unchanged, so each memo is a guaranteed hit and the reused
+	// grant/result buffers already carry last tick's values — the tick
+	// reduces to the per-client draws, the handful of draw-dependent
+	// fields, and the cgroup accumulation, bit-for-bit what the ordinary
+	// steady path below produces. Idle states cannot have changed either
+	// (Done is covered by the demand-epoch contract), so the idle scan and
+	// the quiescent check are skipped: the server was non-idle at arm time
+	// and still is.
+	if reuse && s.fused && s.steadyUsable(tickSec, n) &&
+		s.cpu.SteadyReady(tickSec) && s.mem.SteadyReady(tickSec) && s.disk.SteadyReady(tickSec) {
+		s.statSteady++
+		s.cpu.ReplaySteady()
+		s.mem.ReplaySteadyInPlace(s.memResults)
+		s.disk.ReplaySteadyInPlace(s.diskGrants)
+		for i, v := range s.vms {
+			mr := &s.memResults[i]
+			dg := &s.diskGrants[i]
+			v.lastGrant.Instructions = mr.Instructions
+			v.lastGrant.CPI = mr.CPI
+			v.lastGrant.IOWaitMs = dg.WaitMs
+			v.lastGrant.MemBytes = mr.MemBytes
+			v.cg.AddTick(dg.Ops, dg.Bytes, dg.WaitMs, s.cpuGrants[i].Seconds,
+				mr.Cycles, mr.Instructions, mr.LLCRefs, mr.LLCMisses)
+		}
+		return
+	}
+	s.fused = false
 	// Quiescence fast path: when every VM is idle the full pipeline below
 	// grants nothing — zero demands produce zero grants and cgroup
 	// counters accumulate zeros. Its only lasting effect is the disk's
@@ -373,10 +441,15 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	// cannot change any simulation output (see DESIGN.md §5.2 and
 	// TestQuiescenceMatchesFullPipeline).
 	idle := true
-	for _, v := range s.vms {
-		if !v.Idle() {
+	if cap(s.idleFlags) < n {
+		s.idleFlags = make([]bool, n)
+	}
+	s.idleFlags = s.idleFlags[:n]
+	for i, v := range s.vms {
+		vi := v.Idle()
+		s.idleFlags[i] = vi
+		if !vi {
 			idle = false
-			break
 		}
 	}
 	if idle && s.quiescent && quiesce {
@@ -422,7 +495,7 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 				ClientID: v.id,
 				Seconds:  s.demands[i].CPUSeconds,
 				VCPUs:    v.vcpus,
-				CapCores: v.cg.Throttle().CPUCores,
+				CapCores: v.throttle().CPUCores,
 			})
 		}
 	}
@@ -448,7 +521,7 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	if !steady {
 		s.diskReqs = s.diskReqs[:0]
 		for i, v := range s.vms {
-			th := v.cg.Throttle()
+			th := v.throttle()
 			s.diskReqs = append(s.diskReqs, disk.Request{
 				ClientID: v.id,
 				Ops:      s.demands[i].IOOps,
@@ -485,6 +558,12 @@ func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	if !steady {
 		s.snapshotEpochs(tickSec)
 	}
+	// Arm the fused steady tick for the next round: the server is busy,
+	// reuse is armed, and every allocator just primed (or re-hit) its memo
+	// for the request vectors now in the buffers. Idle servers arm the
+	// quiescence path instead — the two fast paths are mutually exclusive.
+	s.fused = !idle && s.steadyValid &&
+		s.cpu.SteadyReady(tickSec) && s.mem.SteadyReady(tickSec) && s.disk.SteadyReady(tickSec)
 }
 
 // steadyUsable reports whether the request vectors cached from the last
@@ -548,8 +627,18 @@ func (s *Server) catchUp() {
 // between executors, a framework's bookkeeping) without synchronization
 // and with a deterministic ordering.
 func (s *Server) advancePhase(tickSec float64) {
-	for _, v := range s.vms {
-		if !v.Idle() {
+	if len(s.idleFlags) != len(s.vms) {
+		// No grant phase has classified this VM set yet (placement changed
+		// with ticks suppressed); fall back to asking each workload.
+		for _, v := range s.vms {
+			if !v.Idle() {
+				v.workload.Advance(tickSec, v.lastGrant)
+			}
+		}
+		return
+	}
+	for i, v := range s.vms {
+		if !s.idleFlags[i] {
 			v.workload.Advance(tickSec, v.lastGrant)
 		}
 	}
@@ -573,6 +662,17 @@ type Cluster struct {
 	// reuse selects the steady-state demand-reuse fast path, with the
 	// same encoding as quiesce.
 	reuse int8
+
+	// stride selects event-driven stepping (Stride fast-forwarding runs of
+	// event-free ticks), with the same encoding as quiesce.
+	stride int8
+
+	// Cumulative stride accounting: engine ticks elided by Stride and how
+	// many times a stride horizon was computed (i.e. Stride invocations).
+	// Owned by the goroutine stepping the engine; read between ticks via
+	// FastPathStats.
+	statStrideSkips       uint64
+	statHorizonRecomputes uint64
 }
 
 // defaultTickWorkers is the package-wide worker default for clusters that
@@ -620,6 +720,23 @@ var defaultDemandReuseOff atomic.Bool
 // can prove exactly that. Per-cluster SetDemandReuse overrides it.
 func SetDefaultDemandReuse(enabled bool) bool {
 	return !defaultDemandReuseOff.Swap(!enabled)
+}
+
+// defaultStrideOff disables event-driven stepping package-wide when set;
+// the zero value (enabled) is the normal operating mode. It is atomic so
+// tests can flip modes without racing live clusters.
+var defaultStrideOff atomic.Bool
+
+// SetDefaultStride toggles the package-wide default for event-driven
+// stepping (Stride eliding runs of event-free engine ticks) and returns
+// the previous setting. Striding is enabled by default; both settings
+// produce bit-for-bit identical simulations — every elided tick's grant
+// pipeline, random draws and counter arithmetic are replayed exactly, only
+// the engine dispatch and provably idle framework scans are skipped (see
+// DESIGN.md §5.6 and TestStrideMatchesPerTick). Per-cluster SetStride
+// overrides it.
+func SetDefaultStride(enabled bool) bool {
+	return !defaultStrideOff.Swap(!enabled)
 }
 
 // New creates an empty cluster.
@@ -689,6 +806,28 @@ func (c *Cluster) DemandReuseEnabled() bool {
 		return false
 	}
 	return !defaultDemandReuseOff.Load()
+}
+
+// SetStride overrides the package-wide event-driven stepping default for
+// this cluster (see SetDefaultStride).
+func (c *Cluster) SetStride(enabled bool) {
+	if enabled {
+		c.stride = 1
+	} else {
+		c.stride = 2
+	}
+}
+
+// StrideEnabled returns the effective event-driven stepping setting for
+// this cluster.
+func (c *Cluster) StrideEnabled() bool {
+	switch c.stride {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	return !defaultStrideOff.Load()
 }
 
 // AddServer creates a server with the given id and configuration.
@@ -779,9 +918,13 @@ func (c *Cluster) RemoveVM(id string) {
 }
 
 // FastPathStats sums the fast-path accounting of every server in the
-// cluster. Call it between ticks (see Server.FastPathStats).
+// cluster and adds the cluster-level stride counters. Call it between
+// ticks (see Server.FastPathStats).
 func (c *Cluster) FastPathStats() obs.FastPathSnapshot {
-	var fp obs.FastPathSnapshot
+	fp := obs.FastPathSnapshot{
+		StrideSkips:       c.statStrideSkips,
+		HorizonRecomputes: c.statHorizonRecomputes,
+	}
 	for _, s := range c.servers {
 		fp.Add(s.FastPathStats())
 	}
@@ -864,4 +1007,40 @@ func (c *Cluster) Tick(clk *sim.Clock) {
 	for _, s := range c.servers {
 		s.advancePhase(tickSec)
 	}
+}
+
+// Stride fast-forwards the cluster through up to max upcoming ticks whose
+// engine dispatch the caller has proven redundant — every framework's tick
+// would be a no-op and no controller interval is due — replaying each
+// elided tick's full resource pipeline so results stay bit-for-bit
+// identical to per-tick stepping (the AdvanceTo path of DESIGN.md §5.6).
+// The caller owns all cluster-external event sources; Stride itself only
+// has to stop when the pipeline produces an event the frameworks must see,
+// which the stop callback detects after each replayed tick (in practice: a
+// task attempt retiring, observable as a freed executor slot). sync is
+// invoked before each replayed tick with that tick's exact simulated time
+// and must perform the per-tick clock synchronization the elided framework
+// ticks would have (executor SyncClock), so completion timestamps come out
+// identical. Returns the number of ticks elided, 0 <= n <= max.
+//
+// Demand-epoch changes during the stride — a workload finishing, a burst
+// antagonist flipping phase, a task attempt tapering off — do not stop it:
+// grantPhase natively detects them and rebuilds, exactly as it does under
+// per-tick stepping.
+func (c *Cluster) Stride(clk *sim.Clock, max int64, sync func(nowSec float64), stop func() bool) int64 {
+	if max <= 0 || !c.StrideEnabled() {
+		return 0
+	}
+	c.statHorizonRecomputes++
+	var n int64
+	for n < max {
+		sync(clk.PeekSeconds(n))
+		c.Tick(clk)
+		n++
+		c.statStrideSkips++
+		if stop() {
+			break
+		}
+	}
+	return n
 }

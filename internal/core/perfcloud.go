@@ -41,6 +41,22 @@ func (s *System) EachManager(fn func(*NodeManager)) {
 	}
 }
 
+// StrideBound caps max to the number of upcoming ticks — starting with
+// the next tick to execute on clk — that fall strictly before every
+// agent's next control interval, so event-driven strides never elide a
+// tick on which some node manager would act.
+func (s *System) StrideBound(clk *sim.Clock, max int64) int64 {
+	for _, nm := range s.managers {
+		if max <= 0 {
+			return 0
+		}
+		if b := clk.TicksBefore(nm.NextSampleSec(), max); b < max {
+			max = b
+		}
+	}
+	return max
+}
+
 // Manager returns the agent for the given server id, or nil.
 func (s *System) Manager(serverID string) *NodeManager {
 	for _, nm := range s.managers {

@@ -174,6 +174,20 @@ func (s *Scheduler) AllocateInto(dst []Grant, tickSec float64, reqs []Request) [
 	return dst
 }
 
+// SteadyReady reports whether the input memo would serve a tick of length
+// tickSec whose request vector the caller guarantees is unchanged since
+// the memo was saved — the cluster's fused steady path proves that via
+// demand epochs instead of re-comparing the vectors every tick.
+func (s *Scheduler) SteadyReady(tickSec float64) bool {
+	return s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick
+}
+
+// ReplaySteady serves one guaranteed-hit tick in place: the scheduler is
+// deterministic in its inputs and has no per-tick state, so the caller's
+// grant buffer (filled from this memo on the last tick) is already exact
+// and only the accounting advances. Call only after SteadyReady.
+func (s *Scheduler) ReplaySteady() { s.memoHits++ }
+
 // saveMemo snapshots the inputs and grants of a fully solved tick so an
 // identical next tick can skip the solve.
 func (s *Scheduler) saveMemo(tickSec float64, reqs []Request, grants []Grant) {

@@ -149,6 +149,13 @@ type Disk struct {
 	memoReqs      []Request
 	memoGrants    []Grant // WaitMs fields unused; recomputed per tick
 
+	// Resolved jitter slots for memoGrants, rebuilt lazily after each memo
+	// save (and after any AR(1) GC compaction, tracked by the generation),
+	// so the fused steady path draws without per-client map lookups.
+	memoSlots    []sim.Slot
+	memoSlotsOK  bool
+	memoSlotsGen uint64
+
 	// Memo accounting (plain fields: one disk serves one server's
 	// ticking goroutine; read between ticks via MemoStats).
 	memoHits   uint64
@@ -223,13 +230,11 @@ func (d *Disk) Quiescent() bool { return d.lastQuiescent }
 // as n quiescent Allocate calls would. The cluster calls it when a server
 // wakes from a stretch of skipped idle ticks, so skipping and processing
 // idle ticks leave the device's seeded random stream in the identical
-// position (DESIGN.md §5.2).
+// position (DESIGN.md §5.2). The replay is a single batched loop —
+// per-client map state is touched once regardless of n — so fast-forwarding
+// even planet-scale idle stretches stays O(n*clients) time, zero allocs.
 func (d *Disk) AdvanceIdle(n int, clientIDs []string) {
-	for t := 0; t < n; t++ {
-		for _, id := range clientIDs {
-			d.jitter.Step(id)
-		}
-	}
+	d.jitter.StepBatch(n, clientIDs)
 }
 
 // Allocate serves one tick of I/O. tickSec is the tick length in seconds.
@@ -401,6 +406,43 @@ func (d *Disk) saveMemo(tickSec float64, reqs []Request, grants []Grant, waitCoe
 	d.memoReqs = append(d.memoReqs[:0], reqs...)
 	d.memoGrants = append(d.memoGrants[:0], grants...)
 	d.memoValid = true
+	d.memoSlotsOK = false
+}
+
+// SteadyReady reports whether the steady-state memo would serve a tick of
+// length tickSec whose request vector the caller guarantees is unchanged
+// since the memo was saved (proven via demand epochs on the fused steady
+// path).
+func (d *Disk) SteadyReady(tickSec float64) bool {
+	return d.memoValid && !memoizeOff.Load() && tickSec == d.memoTick
+}
+
+// ReplaySteadyInPlace serves one guaranteed-hit tick directly in the
+// caller's grant buffer, which already holds this memo's Ops/Bytes grants
+// from the previous tick: only the per-client luck draws and the WaitMs
+// they scale are evaluated, operand for operand as allocateSteady would.
+// Call only after SteadyReady with len(grants) == len(memoGrants).
+func (d *Disk) ReplaySteadyInPlace(grants []Grant) {
+	d.memoHits++
+	d.lastQuiescent = d.memoQuiescent
+	d.lastUtilization = d.memoUtil
+	d.lastRandomLoad = d.memoRandom
+	if !d.memoSlotsOK || d.memoSlotsGen != d.jitter.Gen() {
+		d.memoSlots = d.memoSlots[:0]
+		for i := range d.memoGrants {
+			d.memoSlots = append(d.memoSlots, d.jitter.Slot(d.memoGrants[i].ClientID))
+		}
+		d.memoSlotsGen = d.jitter.Gen()
+		d.memoSlotsOK = true
+	}
+	for i := range grants {
+		luck := 1 + d.jitter.StepSlot(d.memoSlots[i])
+		if luck < 0 {
+			luck = 0
+		}
+		waitPerOp := d.cfg.BaseLatencyMs * (1 + d.memoWaitCoef*luck)
+		grants[i].WaitMs = grants[i].Ops * waitPerOp
+	}
 }
 
 // allocateSteady serves a tick whose request vector repeats the memoized

@@ -69,7 +69,12 @@ const (
 
 // Attempt is one execution of a task on one executor.
 type Attempt struct {
-	task        *Task
+	task *Task
+	// spec is a copy of task.spec, taken at launch. Task specs are
+	// immutable once built, and the progress loops read spec fields next
+	// to bytesDone/instrDone every tick — the copy keeps those reads in
+	// the attempt's own allocation instead of chasing the task pointer.
+	spec        TaskSpec
 	executor    *Executor
 	speculative bool
 	state       AttemptState
@@ -107,7 +112,7 @@ func (a *Attempt) State() AttemptState { return a.state }
 // Progress returns completion in [0, 1]: the average of the I/O and
 // compute fractions over the dimensions the task actually has.
 func (a *Attempt) Progress() float64 {
-	s := a.task.spec
+	s := &a.spec
 	var sum, n float64
 	if s.IOBytes > 0 {
 		sum += math.Min(1, a.bytesDone/s.IOBytes)
@@ -147,7 +152,7 @@ func (a *Attempt) StartSec() float64 { return a.startSec }
 
 // done reports whether both work dimensions are exhausted.
 func (a *Attempt) done() bool {
-	s := a.task.spec
+	s := &a.spec
 	return a.bytesDone >= s.IOBytes-workEpsilon && a.instrDone >= s.Instructions-workEpsilon
 }
 
@@ -222,9 +227,17 @@ type Executor struct {
 	epoch uint64
 
 	// Reused per-Advance scratch; an executor is advanced by exactly one
-	// goroutine per tick, so plain fields suffice.
-	ios  []float64
-	cpus []float64
+	// goroutine per tick, so plain fields suffice. While demandValid holds
+	// and the epoch and tick length are unchanged, ios/cpus and their sums
+	// still describe the running set (the end-of-Advance drift check proved
+	// it), so the next Advance skips recomputing them.
+	ios         []float64
+	cpus        []float64
+	totIO       float64
+	totCPU      float64
+	demandValid bool
+	demandEpoch uint64
+	demandTick  float64
 
 	// Data-plane tracing (nil = off, the hot-path default: Advance then
 	// pays a single pointer comparison). perSlot/tracks are slot-indexed
@@ -315,7 +328,7 @@ func (e *Executor) launch(t *Task, nowSec float64, speculative bool) *Attempt {
 	if e.FreeSlots() <= 0 {
 		panic(fmt.Sprintf("exec: no free slot on %s", e.Name()))
 	}
-	a := &Attempt{task: t, executor: e, speculative: speculative, startSec: nowSec, span: trace.NoSpan}
+	a := &Attempt{task: t, spec: t.spec, executor: e, speculative: speculative, startSec: nowSec, span: trace.NoSpan}
 	if key := t.spec.InputKey; key != "" {
 		cache := e.vm.Server().Cache()
 		if cache.Has(key, nowSec) {
@@ -376,13 +389,21 @@ const cacheReadRate = 1e9
 // attemptDemand returns one attempt's per-tick demand components. A
 // cache-served input places no demand on the shared disk.
 func attemptDemand(a *Attempt, tickSec float64) (ioBytes, cpuSec float64) {
-	s := a.task.spec
+	s := &a.spec
 	if !a.cachedInput {
 		rate := s.MaxIORate
 		if rate == 0 {
 			rate = defaultMaxIORate
 		}
-		ioBytes = math.Min(math.Max(0, s.IOBytes-a.bytesDone), rate*tickSec)
+		// Inlined min(max(0, remaining), rate*tickSec): branches are
+		// measurably cheaper than math.Min/Max on this hot path and agree
+		// with them for every non-NaN input that reaches here.
+		ioBytes = s.IOBytes - a.bytesDone
+		if ioBytes <= 0 {
+			ioBytes = 0
+		} else if cap := rate * tickSec; ioBytes > cap {
+			ioBytes = cap
+		}
 	}
 	if s.Instructions-a.instrDone > workEpsilon {
 		cpuSec = tickSec // one core per slot
@@ -396,7 +417,7 @@ func (e *Executor) Demand(tickSec float64) cluster.Demand {
 	var d cluster.Demand
 	var wsum float64
 	for _, a := range e.running {
-		s := a.task.spec
+		s := &a.spec
 		ioBytes, cpuSec := attemptDemand(a, tickSec)
 		op := s.OpBytes
 		if op == 0 {
@@ -431,17 +452,35 @@ func (e *Executor) Demand(tickSec float64) cluster.Demand {
 // running attempts in proportion to their demands, gate instruction
 // progress on I/O progress, and retire finished attempts.
 func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
-	var totIO, totCPU float64
-	e.ios = e.ios[:0]
-	e.cpus = e.cpus[:0]
-	for _, a := range e.running {
-		io, cpu := attemptDemand(a, tickSec)
-		e.ios = append(e.ios, io)
-		e.cpus = append(e.cpus, cpu)
-		totIO += io
-		totCPU += cpu
+	if len(e.running) == 0 && e.tracer == nil {
+		// No attempts: demand is identically zero, nothing can progress or
+		// retire, so the tick reduces to clock and cache bookkeeping. (The
+		// general path below reaches the same state; this skips its loop
+		// setup for the common idle-executor case.)
+		e.lastNow += tickSec
+		if !e.demandValid || e.demandEpoch != e.epoch || e.demandTick != tickSec {
+			e.ios, e.cpus = e.ios[:0], e.cpus[:0]
+			e.totIO, e.totCPU = 0, 0
+			e.demandValid, e.demandEpoch, e.demandTick = true, e.epoch, tickSec
+		}
+		return
+	}
+	epochAtEntry := e.epoch
+	if !e.demandValid || e.demandEpoch != e.epoch || e.demandTick != tickSec {
+		var totIO, totCPU float64
+		e.ios = e.ios[:0]
+		e.cpus = e.cpus[:0]
+		for _, a := range e.running {
+			io, cpu := attemptDemand(a, tickSec)
+			e.ios = append(e.ios, io)
+			e.cpus = append(e.cpus, cpu)
+			totIO += io
+			totCPU += cpu
+		}
+		e.totIO, e.totCPU = totIO, totCPU
 	}
 	ios, cpus := e.ios, e.cpus
+	totIO, totCPU := e.totIO, e.totCPU
 	// Tracing: read the cgroup throttle state once per tick (not per
 	// attempt); a VM-wide blkio cap reclassifies disk wait as
 	// control-plane-induced.
@@ -452,12 +491,18 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 		ioCapped = th.ReadIOPS > 0 || th.ReadBPS > 0
 	}
 	for i, a := range e.running {
-		s := a.task.spec
+		s := &a.spec
 		if tr != nil {
 			e.attribute(tr, a, i, tickSec, g, totCPU, ioCapped)
 		}
 		if a.cachedInput {
-			a.bytesDone += math.Min(math.Max(0, s.IOBytes-a.bytesDone), cacheReadRate*tickSec)
+			read := s.IOBytes - a.bytesDone
+			if read <= 0 {
+				read = 0
+			} else if cap := cacheReadRate * tickSec; read > cap {
+				read = cap
+			}
+			a.bytesDone += read
 		} else if totIO > 0 {
 			a.bytesDone += g.IOBytes * ios[i] / totIO
 		}
@@ -466,21 +511,35 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 			// Instruction progress cannot outrun the fraction of input read.
 			allowed := s.Instructions - a.instrDone
 			if s.IOBytes > 0 {
-				frac := math.Min(1, a.bytesDone/s.IOBytes)
-				allowed = math.Min(allowed, s.Instructions*frac-a.instrDone)
+				frac := a.bytesDone / s.IOBytes
+				if frac > 1 {
+					frac = 1
+				}
+				if gated := s.Instructions*frac - a.instrDone; gated < allowed {
+					allowed = gated
+				}
 			}
 			if allowed < 0 {
 				allowed = 0
 			}
-			a.instrDone += math.Min(instr, allowed)
+			if instr > allowed {
+				instr = allowed
+			}
+			a.instrDone += instr
 		}
 	}
 	// Retire completed attempts after the whole tick is applied, filtering
-	// in place to keep the backing array.
+	// in place to keep the backing array. The same pass re-derives each
+	// survivor's demand: the next tick's demand differs from this one's
+	// when the running set shrank or a survivor's components moved off the
+	// values captured before progress was applied (ios/cpus stay
+	// index-aligned with survivors while nothing has retired, which is the
+	// only case where the drift comparison is consulted).
 	nRan := len(e.running)
-	still := e.running[:0]
 	endSec := e.lastNow + tickSec
-	for _, a := range e.running {
+	retired := 0
+	drift := false
+	for i, a := range e.running {
 		if a.done() {
 			a.state = AttemptCompleted
 			a.endSec = endSec
@@ -488,31 +547,38 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 				tr.End(a.span, endSec)
 				e.perSlot[a.slot] = nil
 			}
-		} else {
-			still = append(still, a)
+			retired++
+			continue
+		}
+		if retired > 0 {
+			// Shift survivors left over the retired slots; until the first
+			// retirement the slice is untouched, so the steady case does no
+			// pointer writes (and takes no GC write barriers).
+			e.running[i-retired] = a
+		} else if !drift {
+			io, cpu := attemptDemand(a, tickSec)
+			drift = io != ios[i] || cpu != cpus[i]
 		}
 	}
-	for i := len(still); i < len(e.running); i++ {
-		e.running[i] = nil // drop references so completed attempts can be GC'd
+	if retired > 0 {
+		for i := nRan - retired; i < nRan; i++ {
+			e.running[i] = nil // drop references so completed attempts can be GC'd
+		}
+		e.running = e.running[:nRan-retired]
 	}
-	e.running = still
 	e.lastNow = endSec
 
-	// Bump the demand epoch if the next tick's demand differs from this
-	// one's: the running set shrank, or a survivor's demand components
-	// moved off the values captured before progress was applied (ios/cpus
-	// are index-aligned with the survivors when nothing retired).
-	if len(e.running) != nRan {
+	if retired > 0 || drift {
 		e.epoch++
+		e.demandValid = false
 		return
 	}
-	for i, a := range e.running {
-		io, cpu := attemptDemand(a, tickSec)
-		if io != ios[i] || cpu != cpus[i] {
-			e.epoch++
-			return
-		}
-	}
+	// Nothing retired and no component drifted: next tick's demand loop
+	// would recompute exactly ios/cpus, so mark them reusable. Any launch
+	// or kill in between moves the epoch and invalidates the claim.
+	e.demandValid = e.epoch == epochAtEntry
+	e.demandEpoch = e.epoch
+	e.demandTick = tickSec
 }
 
 // attribute splits one attempt's tick across the trace phases, reading
@@ -523,7 +589,7 @@ func (e *Executor) Advance(tickSec float64, g cluster.Grant) {
 // PhaseCPIStall, and off-core time is disk wait (split by cgroup cap
 // state), cache streaming, or idle.
 func (e *Executor) attribute(tr *trace.Tracer, a *Attempt, i int, tickSec float64, g cluster.Grant, totCPU float64, ioCapped bool) {
-	s := a.task.spec
+	s := &a.spec
 	var cpuSec float64
 	if totCPU > 0 && e.cpus[i] > 0 {
 		cpuSec = g.CPUSeconds * e.cpus[i] / totCPU
@@ -600,6 +666,13 @@ type TaskSet struct {
 
 	killed bool
 
+	// loads is a scratch per-server running-attempt count, rebuilt lazily
+	// once per Tick (loadsValid gates it) instead of once per pending
+	// task, and kept current by incrementing the chosen server on every
+	// launch — which is exactly the delta a recount would observe.
+	loads      map[*cluster.Server]int
+	loadsValid bool
+
 	tr   *trace.Tracer
 	span trace.SpanID
 }
@@ -640,6 +713,9 @@ func (ts *TaskSet) Name() string { return ts.name }
 // Tasks returns all tasks in the set. It copies; use EachTask on
 // per-tick paths.
 func (ts *TaskSet) Tasks() []*Task { return append([]*Task(nil), ts.tasks...) }
+
+// NumTasks returns the number of tasks in the set without copying.
+func (ts *TaskSet) NumTasks() int { return len(ts.tasks) }
 
 // EachTask calls fn for every task in creation order, without copying
 // the backing slice.
@@ -693,17 +769,27 @@ func (ts *TaskSet) Tick(nowSec float64, pool Pool) {
 		ts.tr.End(ts.span, nowSec)
 		return
 	}
-	// Launch pending tasks.
-	var stillPending []*Task
-	for _, t := range ts.pending {
-		e := ts.pickExecutor(t, pool)
-		if e == nil {
-			stillPending = append(stillPending, t)
-			continue
+	// Launch pending tasks. With zero free slots pool-wide every pick
+	// would come back nil, so the scan is skipped outright — the common
+	// shape of a saturated cluster. The filter reuses ts.pending's backing
+	// array (writes trail reads, so the in-place append is safe) to avoid
+	// an allocation per scheduling round.
+	if len(ts.pending) > 0 && pool.FreeSlots() > 0 {
+		ts.loadsValid = false
+		pending := ts.pending[:0]
+		for _, t := range ts.pending {
+			e := ts.pickExecutor(t, pool)
+			if e == nil {
+				pending = append(pending, t)
+				continue
+			}
+			e.launch(t, nowSec, false)
+			if ts.loadsValid {
+				ts.loads[e.vm.Server()]++
+			}
 		}
-		e.launch(t, nowSec, false)
+		ts.pending = pending
 	}
-	ts.pending = stillPending
 
 	// Speculation with leftover slots.
 	if ts.spec == nil || len(ts.pending) > 0 || pool.FreeSlots() == 0 {
@@ -722,6 +808,48 @@ func (ts *TaskSet) Tick(nowSec float64, pool Pool) {
 			return
 		}
 	}
+}
+
+// StrideQuiet reports whether the set's next Tick is provably a no-op —
+// no completion to harvest, no sibling to kill, no launch possible, no
+// speculation round armed — and will remain one until some attempt's state
+// changes, which only happens on engine ticks (launch, kill) or stops the
+// stride at the tick it occurs (completion frees a slot). The event-driven
+// stepper elides engine ticks only while every task set is quiet
+// (DESIGN.md §5.6). Speculation is the conservative case: Candidates is
+// time-dependent (progress rates shift as now advances), so an armed
+// speculator with free slots and nothing pending blocks striding outright.
+func (ts *TaskSet) StrideQuiet(pool Pool) bool {
+	if ts.killed {
+		return true
+	}
+	done := true
+	for _, t := range ts.tasks {
+		if t.completed == nil {
+			done = false
+			for _, a := range t.attempts {
+				if a.state == AttemptCompleted {
+					return false // harvest pending
+				}
+			}
+			continue
+		}
+		for _, a := range t.attempts {
+			if a.state == AttemptRunning && a != t.completed {
+				return false // sibling kill pending
+			}
+		}
+	}
+	if done {
+		return true
+	}
+	if len(ts.pending) > 0 && pool.FreeSlots() > 0 {
+		return false // a launch would happen
+	}
+	if ts.spec != nil && len(ts.pending) == 0 && pool.FreeSlots() > 0 {
+		return false // a speculation round would run
+	}
+	return true
 }
 
 // killSiblings terminates still-running attempts of a completed task.
@@ -784,29 +912,39 @@ func (ts *TaskSet) pickExecutor(t *Task, pool Pool) *Executor {
 	if pref != nil {
 		return pref
 	}
-	load := pool.serverLoads()
+	if !ts.loadsValid {
+		if ts.loads == nil {
+			// Sized for servers, not executors: many executors share one
+			// physical server, so a len(pool) hint would overshoot badly.
+			ts.loads = make(map[*cluster.Server]int, 16)
+		}
+		clear(ts.loads)
+		for _, e := range pool {
+			ts.loads[e.vm.Server()] += len(e.running)
+		}
+		ts.loadsValid = true
+	}
+	load := ts.loads
 	var best *Executor
 	bestLoad := 0
+	// Pools list a server's executors contiguously, so one cached lookup
+	// usually covers a whole server's stretch of the scan.
+	var lastSrv *cluster.Server
+	lastLoad := 0
 	for _, e := range pool {
 		if e.FreeSlots() <= 0 {
 			continue
 		}
-		l := load[e.vm.Server()]
+		if srv := e.vm.Server(); srv != lastSrv {
+			lastSrv, lastLoad = srv, load[srv]
+		}
+		l := lastLoad
 		if best == nil || l < bestLoad ||
 			(l == bestLoad && e.FreeSlots() > best.FreeSlots()) {
 			best, bestLoad = e, l
 		}
 	}
 	return best
-}
-
-// serverLoads counts running attempts per physical server across the pool.
-func (p Pool) serverLoads() map[*cluster.Server]int {
-	out := make(map[*cluster.Server]int)
-	for _, e := range p {
-		out[e.vm.Server()] += len(e.running)
-	}
-	return out
 }
 
 // pickSpeculativeExecutor avoids executors already running the task (a

@@ -14,8 +14,6 @@ import (
 	"perfcloud/internal/straggler"
 	"perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
-
-	"math/rand"
 )
 
 // This file implements the paper's §IV-D2 future-work directions as
@@ -154,8 +152,8 @@ func Migration(seed int64) MigrationResult {
 			poolB = append(poolB, exec.NewExecutor(bvm, 2))
 			namesB = append(namesB, bvm.ID())
 		}
-		fsA := dfs.New(dfs.DefaultConfig(), namesA, rand.New(rand.NewSource(seed+1)))
-		fsB := dfs.New(dfs.DefaultConfig(), namesB, rand.New(rand.NewSource(seed+2)))
+		fsA := dfs.New(dfs.DefaultConfig(), namesA, sim.NewSeededRand(seed+1))
+		fsB := dfs.New(dfs.DefaultConfig(), namesB, sim.NewSeededRand(seed+2))
 		fsA.Create("input", 8*(64<<20))
 		fsB.Create("input", 8*(64<<20))
 		jtA := mapreduce.NewJobTracker(poolA, fsA, nil)

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"perfcloud/internal/core"
 	"perfcloud/internal/exec"
 	"perfcloud/internal/mapreduce"
 	"perfcloud/internal/obs"
+	"perfcloud/internal/sim"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/straggler"
@@ -90,7 +90,7 @@ type jobSpec struct {
 // generateMix derives the deterministic workload mix: 80% of jobs have
 // fewer than 10 tasks, 20% have 10-50 (§IV-C).
 func generateMix(cfg LargeScaleConfig) []jobSpec {
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	rng := sim.NewSeededRand(cfg.Seed + 7)
 	var specs []jobSpec
 	add := func(n int, spark bool) {
 		for i := 0; i < n; i++ {
@@ -243,13 +243,26 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 	jobs := make([]*logicalJob, len(specs))
 	next := 0
 	ticks := int64(cfg.Limit / tb.Eng.Clock().TickSize())
-	for i := int64(0); i < ticks; i++ {
+	st := tb.Stepper()
+	for i := int64(0); i < ticks; {
 		now := tb.Eng.Clock().Seconds()
 		for next < len(specs) && specs[next].arriveSec <= now {
 			jobs[next] = submitLogical(tb, specs[next], sch)
 			next++
 		}
-		tb.Eng.Step()
+		i += st.Step(func(clk *sim.Clock) int64 {
+			// Strides stop short of the next arrival (its submission tick
+			// must execute) and never start once the mix has drained.
+			b := ticks - i - 1
+			if next < len(specs) {
+				if nb := clk.TicksBefore(specs[next].arriveSec, b); nb < b {
+					b = nb
+				}
+			} else if allDone(jobs) {
+				return 0
+			}
+			return b
+		})
 		if next == len(specs) && allDone(jobs) {
 			break
 		}
@@ -339,7 +352,7 @@ func placeAntagonists(tb *Testbed, cfg LargeScaleConfig) {
 	// pauses in between, like the fio/STREAM processes the paper launches
 	// repeatedly during a mix. Episodic activity also gives the
 	// identification channel the onsets it correlates on.
-	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	rng := sim.NewSeededRand(cfg.Seed + 31)
 	for i := 0; i < cfg.Fio; i++ {
 		pat := workloads.BurstPattern{
 			StartOffset: time.Duration(rng.Intn(60)) * time.Second,

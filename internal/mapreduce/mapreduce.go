@@ -16,6 +16,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"strconv"
 
 	"perfcloud/internal/dfs"
 	"perfcloud/internal/exec"
@@ -218,7 +219,7 @@ func (jt *JobTracker) Submit(cfg JobConfig, nowSec float64) (*Job, error) {
 		return nil, fmt.Errorf("mapreduce: negative reduce count")
 	}
 	j := &Job{
-		id:        fmt.Sprintf("%s-%d", cfg.Name, jt.nextID),
+		id:        cfg.Name + "-" + strconv.Itoa(jt.nextID),
 		cfg:       cfg,
 		file:      f,
 		spec:      jt.spec,
@@ -243,6 +244,29 @@ func (jt *JobTracker) Tick(c *sim.Clock) {
 	for _, j := range jt.jobs {
 		jt.advance(j, now)
 	}
+}
+
+// StrideQuiet reports whether the tracker's next Tick is provably a no-op
+// beyond the executor clock sync: every job is either finished or sitting
+// in a wave whose task set is quiet and not yet done. A queued job or a
+// completed wave means the next Tick takes a state-machine transition, so
+// the event-driven stepper must run it (DESIGN.md §5.6).
+func (jt *JobTracker) StrideQuiet() bool {
+	for _, j := range jt.jobs {
+		switch j.state {
+		case StateQueued:
+			return false
+		case StateMap:
+			if j.mapSet.Done() || !j.mapSet.StrideQuiet(jt.pool) {
+				return false
+			}
+		case StateReduce:
+			if j.reduceSet.Done() || !j.reduceSet.StrideQuiet(jt.pool) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // advance runs one scheduling round of a job's state machine.
@@ -283,10 +307,10 @@ func (jt *JobTracker) mapSpecs(j *Job) []exec.TaskSpec {
 	s := j.cfg.MapShape
 	for _, b := range j.file.Blocks {
 		specs = append(specs, exec.TaskSpec{
-			ID:              fmt.Sprintf("%s/m%03d", j.id, b.Index),
+			ID:              j.id + "/m" + pad3(b.Index),
 			IOBytes:         b.Bytes,
 			OpBytes:         s.OpBytes,
-			InputKey:        fmt.Sprintf("%s/b%03d", j.cfg.InputFile, b.Index),
+			InputKey:        j.cfg.InputFile + "/b" + pad3(b.Index),
 			Instructions:    b.Bytes * s.InstrPerByte,
 			CoreCPI:         s.CoreCPI,
 			LLCRefsPerInstr: s.LLCRefsPerInstr,
@@ -308,7 +332,7 @@ func (jt *JobTracker) reduceSpecs(j *Job) []exec.TaskSpec {
 	specs := make([]exec.TaskSpec, 0, j.cfg.NumReduces)
 	for i := 0; i < j.cfg.NumReduces; i++ {
 		specs = append(specs, exec.TaskSpec{
-			ID:              fmt.Sprintf("%s/r%03d", j.id, i),
+			ID:              j.id + "/r" + pad3(i),
 			IOBytes:         perReduce + out,
 			OpBytes:         s.OpBytes,
 			Instructions:    perReduce * s.InstrPerByte,
@@ -319,6 +343,17 @@ func (jt *JobTracker) reduceSpecs(j *Job) []exec.TaskSpec {
 		})
 	}
 	return specs
+}
+
+// pad3 renders a nonnegative index like fmt's %03d — zero-padded to
+// three digits, wider values in full — without the printf machinery;
+// spec construction runs once per job and the repeated-run experiments
+// submit thousands of jobs.
+func pad3(n int) string {
+	if n < 0 || n >= 1000 {
+		return strconv.Itoa(n)
+	}
+	return string([]byte{'0' + byte(n/100), '0' + byte(n/10%10), '0' + byte(n%10)})
 }
 
 // Terasort builds the PUMA terasort job: I/O-dominant maps (sort is

@@ -112,24 +112,48 @@ type System struct {
 	weights      []float64
 	wants        []float64
 
-	// Input memo: with bandwidth pressure at or below capacity the model
-	// is a pure function of (tickSec, reqs) — the per-VM AR(1) luck factor
-	// multiplies a congestion term that is zero — so a tick repeating last
-	// tick's inputs can return the cached results, replaying only the
-	// jitter draws to keep the seeded stream position identical. Under
-	// congestion (cached pressure > 1) the luck factors feed the results
-	// and the memo declines the hit.
+	// Input memo: everything upstream of the per-VM AR(1) luck draw —
+	// nominal instruction rates, bandwidth pressure, LLC shares and miss
+	// rates — is a pure function of (tickSec, reqs), so a tick repeating
+	// last tick's inputs skips the solve. With pressure at or below
+	// capacity the luck factors multiply a zero congestion term and the
+	// cached results are returned wholesale (replaying the draws to keep
+	// the seeded stream position identical). Under congestion the luck
+	// factors feed the results, so the hit replays, per active client,
+	// only the short draw-dependent tail of the arithmetic from the
+	// cached draw-independent inputs in memoActive.
 	memoValid    bool
 	memoTick     float64
 	memoPressure float64
+	memoOver     float64 // clipped congestion term of the memoized tick
 	memoReqs     []Request
 	memoResults  []Result
-	memoStep     []string // client ids whose jitter the memoized tick stepped, in order
+	memoActive   []memoReplay // per stepped client, in draw order
+
+	// Resolved jitter slots for memoActive, rebuilt lazily after each memo
+	// save (and after any AR(1) GC compaction, tracked by the generation),
+	// so the fused steady path draws without per-client map lookups.
+	memoSlots    []sim.Slot
+	memoSlotsOK  bool
+	memoSlotsGen uint64
 
 	// Memo accounting (plain fields: one system serves one server's
 	// ticking goroutine; read between ticks via MemoStats).
 	memoHits   uint64
 	memoMisses uint64
+}
+
+// memoReplay caches one active client's draw-independent inputs so a
+// congested memo hit can recompute the client's results from this tick's
+// luck draw alone, with the exact operand order of the full solve.
+type memoReplay struct {
+	id       string
+	resIdx   int // index into memoResults / the returned slice
+	coreCPI  float64
+	refs     float64 // LLCRefsPerInstr
+	bytesPI  float64 // BytesPerInstr
+	missRate float64
+	cycles   float64
 }
 
 // MemoStats returns how many ComputeInto calls were served from the
@@ -200,18 +224,40 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 	if tickSec <= 0 {
 		panic("memsys: nonpositive tick")
 	}
-	if s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick &&
-		s.memoPressure <= 1 && requestsEqual(reqs, s.memoReqs) {
-		// Steady state, uncongested: the luck factors multiply a zero
-		// congestion term, so identical inputs produce identical results.
+	if s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick && requestsEqual(reqs, s.memoReqs) {
+		// Steady state: everything upstream of the luck draws is cached.
 		// The draws the full path would have consumed are still replayed —
 		// the stream position is part of the model's observable state — and
 		// the keep-set GC is skipped, a no-op after an unchanged tick.
-		for _, id := range s.memoStep {
-			s.jitter.Step(id)
-		}
 		s.memoHits++
-		return append(dst, s.memoResults...)
+		base := len(dst)
+		dst = append(dst, s.memoResults...)
+		if s.memoOver == 0 {
+			// Uncongested: the luck factors multiply a zero congestion
+			// term, so the cached results are already exact.
+			for i := range s.memoActive {
+				s.jitter.Step(s.memoActive[i].id)
+			}
+			return dst
+		}
+		// Congested: replay the draw-dependent tail per active client,
+		// mirroring the full solve's expressions operand for operand.
+		out := dst[base:]
+		for i := range s.memoActive {
+			m := &s.memoActive[i]
+			luck := 1 + s.jitter.Step(m.id)
+			if luck < 0 {
+				luck = 0
+			}
+			penalty := s.cfg.MissPenaltyCPI * (1 + s.cfg.CongestionScale*s.memoOver*luck)
+			r := &out[m.resIdx]
+			r.CPI = m.coreCPI + m.refs*m.missRate*penalty
+			r.Instructions = m.cycles / r.CPI
+			r.LLCRefs = r.Instructions * m.refs
+			r.LLCMisses = r.LLCRefs * m.missRate
+			r.MemBytes = r.Instructions * m.bytesPI
+		}
+		return dst
 	}
 	s.memoMisses++
 
@@ -260,7 +306,8 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 			dst = append(dst, Result{ClientID: r.ClientID})
 		}
 		s.jitter.GC(s.keep)
-		s.memoStep = s.memoStep[:0]
+		s.memoActive = s.memoActive[:0]
+		s.memoOver = 0
 		s.saveMemo(tickSec, reqs, dst[base:])
 		return dst
 	}
@@ -279,7 +326,8 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		s.keep = make(map[string]bool, len(reqs))
 	}
 	clear(s.keep)
-	s.memoStep = s.memoStep[:0]
+	s.memoActive = s.memoActive[:0]
+	s.memoOver = over
 	for i, r := range reqs {
 		s.keep[r.ClientID] = true
 		res := Result{ClientID: r.ClientID}
@@ -289,7 +337,6 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		}
 		res.MissRate = missRate(r.WorkingSetBytes, shares[i])
 
-		s.memoStep = append(s.memoStep, r.ClientID)
 		j := s.jitter.Step(r.ClientID)
 		luck := 1 + j
 		if luck < 0 {
@@ -303,6 +350,11 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 		res.LLCRefs = res.Instructions * r.LLCRefsPerInstr
 		res.LLCMisses = res.LLCRefs * res.MissRate
 		res.MemBytes = res.Instructions * r.BytesPerInstr
+		s.memoActive = append(s.memoActive, memoReplay{
+			id: r.ClientID, resIdx: i,
+			coreCPI: r.CoreCPI, refs: r.LLCRefsPerInstr, bytesPI: r.BytesPerInstr,
+			missRate: res.MissRate, cycles: res.Cycles,
+		})
 		dst = append(dst, res)
 	}
 	s.jitter.GC(s.keep)
@@ -311,14 +363,63 @@ func (s *System) ComputeInto(dst []Result, tickSec float64, reqs []Request) []Re
 }
 
 // saveMemo snapshots the inputs and results of a fully computed tick
-// (the caller has already recorded the stepped clients in memoStep) so
-// an identical, uncongested next tick can skip the solve.
+// (the caller has already recorded the per-client replay inputs in
+// memoActive) so an identical next tick can skip the solve.
 func (s *System) saveMemo(tickSec float64, reqs []Request, results []Result) {
 	s.memoTick = tickSec
 	s.memoPressure = s.lastPressure
 	s.memoReqs = append(s.memoReqs[:0], reqs...)
 	s.memoResults = append(s.memoResults[:0], results...)
 	s.memoValid = true
+	s.memoSlotsOK = false
+}
+
+// SteadyReady reports whether the input memo would serve a tick of length
+// tickSec whose request vector the caller guarantees is unchanged since
+// the memo was saved (proven via demand epochs on the fused steady path).
+func (s *System) SteadyReady(tickSec float64) bool {
+	return s.memoValid && !memoizeOff.Load() && tickSec == s.memoTick
+}
+
+// ReplaySteadyInPlace serves one guaranteed-hit tick directly in the
+// caller's result buffer, which already holds this memo's results from
+// the previous tick: only the per-client luck draws — and, under
+// congestion, the short draw-dependent tail of the arithmetic — are
+// evaluated, operand for operand as ComputeInto's memo-hit path would.
+// Call only after SteadyReady with len(results) == len(memoResults).
+func (s *System) ReplaySteadyInPlace(results []Result) {
+	s.memoHits++
+	if !s.memoSlotsOK || s.memoSlotsGen != s.jitter.Gen() {
+		s.memoSlots = s.memoSlots[:0]
+		for i := range s.memoActive {
+			s.memoSlots = append(s.memoSlots, s.jitter.Slot(s.memoActive[i].id))
+		}
+		s.memoSlotsGen = s.jitter.Gen()
+		s.memoSlotsOK = true
+	}
+	if s.memoOver == 0 {
+		// Uncongested: the luck factors multiply a zero congestion term,
+		// so the buffered results are already exact; only the seeded
+		// stream position advances.
+		for _, sl := range s.memoSlots {
+			s.jitter.StepSlot(sl)
+		}
+		return
+	}
+	for i := range s.memoActive {
+		m := &s.memoActive[i]
+		luck := 1 + s.jitter.StepSlot(s.memoSlots[i])
+		if luck < 0 {
+			luck = 0
+		}
+		penalty := s.cfg.MissPenaltyCPI * (1 + s.cfg.CongestionScale*s.memoOver*luck)
+		r := &results[m.resIdx]
+		r.CPI = m.coreCPI + m.refs*m.missRate*penalty
+		r.Instructions = m.cycles / r.CPI
+		r.LLCRefs = r.Instructions * m.refs
+		r.LLCMisses = r.LLCRefs * m.missRate
+		r.MemBytes = r.Instructions * m.bytesPI
+	}
 }
 
 // llcShares partitions the cache between clients by water-filling on

@@ -56,6 +56,12 @@ type FastPathSnapshot struct {
 	QuiescentSkips uint64 `json:"quiescent_skips"`
 	SteadyReuses   uint64 `json:"steady_reuses"`
 	Rebuilds       uint64 `json:"rebuilds"`
+	// StrideSkips counts whole engine ticks elided by event-driven
+	// stepping (every framework provably idle, pipeline replayed in a
+	// stride); HorizonRecomputes counts how often a stride horizon was
+	// computed.
+	StrideSkips       uint64 `json:"stride_skips"`
+	HorizonRecomputes uint64 `json:"horizon_recomputes"`
 	// Per-resource allocator input-memo accounting.
 	CPUMemoHits    uint64 `json:"cpu_memo_hits"`
 	CPUMemoMisses  uint64 `json:"cpu_memo_misses"`
@@ -70,6 +76,8 @@ func (s *FastPathSnapshot) Add(o FastPathSnapshot) {
 	s.QuiescentSkips += o.QuiescentSkips
 	s.SteadyReuses += o.SteadyReuses
 	s.Rebuilds += o.Rebuilds
+	s.StrideSkips += o.StrideSkips
+	s.HorizonRecomputes += o.HorizonRecomputes
 	s.CPUMemoHits += o.CPUMemoHits
 	s.CPUMemoMisses += o.CPUMemoMisses
 	s.MemMemoHits += o.MemMemoHits

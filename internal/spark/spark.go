@@ -14,6 +14,7 @@ package spark
 
 import (
 	"fmt"
+	"strconv"
 
 	"perfcloud/internal/exec"
 	"perfcloud/internal/sim"
@@ -200,7 +201,7 @@ func (d *Driver) Submit(cfg AppConfig, nowSec float64) (*App, error) {
 		}
 	}
 	a := &App{
-		id:        fmt.Sprintf("%s-%d", cfg.Name, d.nextID),
+		id:        cfg.Name + "-" + strconv.Itoa(d.nextID),
 		cfg:       cfg,
 		spec:      d.spec,
 		tr:        d.tr,
@@ -222,6 +223,23 @@ func (d *Driver) Tick(c *sim.Clock) {
 	for _, a := range d.apps {
 		d.advance(a, now)
 	}
+}
+
+// StrideQuiet reports whether the driver's next Tick is provably a no-op
+// beyond the executor clock sync: every app is finished or mid-stage with
+// a quiet, not-yet-done task set. A queued app or a completed stage means
+// the next Tick advances the stage machine, so the event-driven stepper
+// must run it (DESIGN.md §5.6).
+func (d *Driver) StrideQuiet() bool {
+	for _, a := range d.apps {
+		if a.Done() {
+			continue
+		}
+		if a.state == StateQueued || a.stage.Done() || !a.stage.StrideQuiet(d.pool) {
+			return false
+		}
+	}
+	return true
 }
 
 // advance runs one scheduling round of an app's stage machine.
@@ -254,13 +272,14 @@ func (d *Driver) advance(a *App, now float64) {
 func (d *Driver) startStage(a *App, now float64) {
 	sc := a.cfg.Stages[a.stageIdx]
 	specs := make([]exec.TaskSpec, sc.NumTasks)
+	stagePrefix := a.id + "/s" + pad2(a.stageIdx)
 	for i := range specs {
 		key := ""
 		if sc.InputKeyPrefix != "" {
-			key = fmt.Sprintf("%s/t%03d", sc.InputKeyPrefix, i)
+			key = sc.InputKeyPrefix + "/t" + pad3(i)
 		}
 		specs[i] = exec.TaskSpec{
-			ID:              fmt.Sprintf("%s/s%02d-t%03d", a.id, a.stageIdx, i),
+			ID:              stagePrefix + "-t" + pad3(i),
 			IOBytes:         sc.IOBytesPer,
 			OpBytes:         sc.Shape.OpBytes,
 			InputKey:        key,
@@ -271,7 +290,7 @@ func (d *Driver) startStage(a *App, now float64) {
 			WorkingSetBytes: sc.Shape.WorkingSetBytes,
 		}
 	}
-	a.stage = exec.NewTaskSet(fmt.Sprintf("%s/s%02d", a.id, a.stageIdx), specs, a.spec)
+	a.stage = exec.NewTaskSet(stagePrefix, specs, a.spec)
 	a.stage.Trace(a.tr, a.span, now)
 	a.stagesRun = append(a.stagesRun, a.stage)
 }
@@ -288,7 +307,7 @@ func iterativeApp(name string, tasksPerStage, iterations int, inputBytes, instrP
 	}}
 	for i := 0; i < iterations; i++ {
 		stages = append(stages, StageConfig{
-			Name:         fmt.Sprintf("iter-%d", i),
+			Name:         "iter-" + strconv.Itoa(i),
 			NumTasks:     tasksPerStage,
 			InstrPerTask: instrPerIter,
 			Shape:        iterShape(),
@@ -317,4 +336,22 @@ func PageRank(tasksPerStage, iterations int, inputBytes float64) AppConfig {
 		cfg.Stages[i].IOBytesPer = 4 << 20 // shuffle spill per task
 	}
 	return cfg
+}
+
+// pad2 and pad3 render nonnegative indices like fmt's %02d / %03d —
+// zero-padded, wider values in full — without the printf machinery;
+// stage construction runs on every startStage and the repeated-run
+// experiments submit thousands of apps.
+func pad2(n int) string {
+	if n < 0 || n >= 100 {
+		return strconv.Itoa(n)
+	}
+	return string([]byte{'0' + byte(n/10), '0' + byte(n%10)})
+}
+
+func pad3(n int) string {
+	if n < 0 || n >= 1000 {
+		return strconv.Itoa(n)
+	}
+	return string([]byte{'0' + byte(n/100), '0' + byte(n/10%10), '0' + byte(n%10)})
 }

@@ -35,6 +35,18 @@ type LATE struct {
 	// MinRuntimeSec avoids speculating tasks that just launched — the
 	// "wait" part of wait-and-speculate the paper criticises.
 	MinRuntimeSec float64
+
+	// Per-call scratch, reused across ticks (Candidates runs on the
+	// single simulation goroutine) so a speculation round allocates only
+	// its small result slice.
+	rates   []float64
+	running []*exec.Attempt
+	cands   []lateCand
+}
+
+type lateCand struct {
+	task *exec.Task
+	ete  float64 // estimated time to end
 }
 
 // NewLATE returns a LATE speculator with the paper's defaults.
@@ -46,12 +58,8 @@ var _ exec.Speculator = (*LATE)(nil)
 
 // Candidates implements exec.Speculator.
 func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
-	type cand struct {
-		task *exec.Task
-		ete  float64 // estimated time to end
-	}
-	var rates []float64
-	var running []*exec.Attempt
+	rates := l.rates[:0]
+	running := l.running[:0]
 	speculating := 0
 	// Iterate the live structures directly (tasks are created in id
 	// order, so this matches the sorted order RunningAttempts would
@@ -69,10 +77,11 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 			rates = append(rates, a.ProgressRate(nowSec))
 		})
 	})
+	l.rates, l.running = rates, running
 	if len(running) == 0 {
 		return nil
 	}
-	allowed := int(l.SpeculativeCap*float64(len(ts.Tasks())) + 0.5)
+	allowed := int(l.SpeculativeCap*float64(ts.NumTasks()) + 0.5)
 	if allowed < 1 {
 		allowed = 1
 	}
@@ -81,7 +90,7 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 		return nil
 	}
 	threshold := stats.Percentile(rates, l.SlowTaskPercentile)
-	var cands []cand
+	cands := l.cands[:0]
 	for _, a := range running {
 		if a.Runtime(nowSec) < l.MinRuntimeSec {
 			continue
@@ -93,8 +102,9 @@ func (l *LATE) Candidates(ts *exec.TaskSet, nowSec float64) []*exec.Task {
 		if rate > threshold || rate <= 0 {
 			continue
 		}
-		cands = append(cands, cand{task: a.Task(), ete: (1 - a.Progress()) / rate})
+		cands = append(cands, lateCand{task: a.Task(), ete: (1 - a.Progress()) / rate})
 	}
+	l.cands = cands
 	// Longest estimated time to end first.
 	sort.Slice(cands, func(i, j int) bool { return cands[i].ete > cands[j].ete })
 	if len(cands) > budget {
@@ -245,6 +255,24 @@ func (d *Dolly) Watch(name string, clones ...Clone) *CloneGroup {
 
 // Groups returns all watched groups.
 func (d *Dolly) Groups() []*CloneGroup { return append([]*CloneGroup(nil), d.groups...) }
+
+// StrideQuiet reports whether the watcher's next Tick is provably a
+// no-op: every race is already settled or has no completed clone yet.
+// Clones complete only on engine ticks (their framework's harvest), so
+// the answer stays valid across a stride (DESIGN.md §5.6).
+func (d *Dolly) StrideQuiet() bool {
+	for _, g := range d.groups {
+		if g.winner != nil {
+			continue
+		}
+		for _, cl := range g.clones {
+			if cl.Completed() {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // Tick implements sim.Tickable.
 func (d *Dolly) Tick(c *sim.Clock) {
