@@ -1,5 +1,5 @@
 # Tier-1 verification (ROADMAP.md): build + full test suite.
-.PHONY: all build test check race bench bench-suite bench-compare
+.PHONY: all build test check race bench bench-suite bench-compare bench-scale
 
 all: check
 
@@ -46,6 +46,18 @@ bench:
 bench-compare:
 	go test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem \
 		./internal/core ./internal/cluster | go run ./cmd/benchjson -baseline BENCH_hotloop.json
+
+# bench-scale measures the sharded tick path at fleet scale — the same
+# 8 busy servers inside 1k- and 10k-server clusters — merges the results
+# into BENCH_scale.json, and gates on the scaling ratio: ticking the
+# 10x-larger fleet may cost at most 2x per tick (the O(active + shards)
+# contract; a flat tick would be ~10x). The ratio compares two results
+# from the same run, so the gate holds on any machine.
+bench-scale:
+	go test -run='^$$' -bench=ShardScale -benchmem \
+		./internal/cluster | go run ./cmd/benchjson -o BENCH_scale.json
+	go run ./cmd/benchjson -injson BENCH_scale.json \
+		-ratio 'servers=10240,servers=1024' -max-ratio 2
 
 # bench-suite times the full Fig 3-12 experiment suite end to end —
 # per-figure wall clock via perfbench -suite, plus the single-pass

@@ -31,6 +31,15 @@
 //	perfbench -suite -suitejson fresh.json
 //	benchjson -injson fresh.json -filter 'FigSuite/Fig1[12]$' \
 //	  -baseline BENCH_suite.json -max-regress 25
+//
+// -ratio 'NUM,DEN' (name substrings) prints ns/op(NUM)/ns/op(DEN) over
+// this run's results, and -max-ratio turns it into a gate. Both operands
+// come from the same run, so the gate checks scaling — "ticking a
+// 10x-larger fleet may cost at most 2x per tick" — independent of the
+// machine's absolute speed:
+//
+//	benchjson -injson BENCH_scale.json \
+//	  -ratio 'servers=10240,servers=1024' -max-ratio 2
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"strings"
 
 	"perfcloud/internal/benchfmt"
 )
@@ -50,9 +60,14 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 0, "with -baseline: exit non-zero if any ns/op regressed by more than this percentage (0 = report only)")
 	injson := flag.String("injson", "", "benchfmt JSON file to read results from instead of parsing stdin")
 	filter := flag.String("filter", "", "regexp: only results whose name matches are compared and merged")
+	ratio := flag.String("ratio", "", "'NUM,DEN' name substrings: print ns/op(NUM)/ns/op(DEN) from this run's results")
+	maxRatio := flag.Float64("max-ratio", 0, "with -ratio: exit non-zero if the ratio exceeds this (0 = report only)")
 	flag.Parse()
 	if *maxRegress != 0 && *baseline == "" {
 		fatal(fmt.Errorf("-max-regress requires -baseline"))
+	}
+	if *maxRatio != 0 && *ratio == "" {
+		fatal(fmt.Errorf("-max-ratio requires -ratio"))
 	}
 
 	var results []benchfmt.Result
@@ -117,8 +132,24 @@ func main() {
 		}
 	}
 
+	if *ratio != "" {
+		num, den, ok := strings.Cut(*ratio, ",")
+		if !ok || num == "" || den == "" {
+			fatal(fmt.Errorf("-ratio wants 'NUM,DEN' name substrings, got %q", *ratio))
+		}
+		v, err := benchfmt.Ratio(results, num, den)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ratio %s / %s = %.2fx\n", num, den, v)
+		if *maxRatio != 0 && v > *maxRatio {
+			fmt.Fprintf(os.Stderr, "benchjson: ratio %.2fx exceeds maximum %.2fx\n", v, *maxRatio)
+			os.Exit(1)
+		}
+	}
+
 	if *out == "" {
-		if *baseline != "" {
+		if *baseline != "" || *ratio != "" {
 			return
 		}
 		buf, err := json.MarshalIndent(results, "", "  ")

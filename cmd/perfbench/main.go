@@ -7,7 +7,7 @@
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
 //	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE] [-fastpaths]
-//	          [-tracedir DIR]
+//	          [-tracedir DIR] [-shards N]
 //
 // -tracedir enables data-plane tracing for the Fig 11/12 experiments:
 // every repetition writes a Perfetto/chrome-trace JSON timeline into the
@@ -70,8 +70,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fastpaths := flag.Bool("fastpaths", false, "print the simulation's cumulative fast-path hit-rate counters after the run")
 	tracedir := flag.String("tracedir", "", "directory to write per-repetition Perfetto traces (Figs 11, 12)")
+	shards := flag.Int("shards", 0, "cluster tick shards: 0 auto, n forced, -1 flat pre-shard path")
 	flag.Parse()
 	cluster.SetDefaultTickWorkers(*parallel)
+	cluster.SetDefaultShards(*shards)
 	experiments.SetMaxParallelRuns(*parallel)
 	if *fastpaths {
 		experiments.SetTrackFastPaths(true)
@@ -295,6 +297,7 @@ func printFastPaths(w *os.File) {
 	fmt.Fprintf(w, "fastpaths: event-driven strides: %d cluster ticks elided across %d horizons (avg %.1f ticks/stride)\n",
 		fp.StrideSkips, fp.HorizonRecomputes,
 		float64(fp.StrideSkips)/float64(max(fp.HorizonRecomputes, 1)))
+	fmt.Fprintf(w, "fastpaths: sharded ticking: %d whole-shard skips\n", fp.ShardSkips)
 	fmt.Fprintf(w, "fastpaths: allocator memo hit rates: cpu %.1f%% (%d/%d), mem %.1f%% (%d/%d), disk %.1f%% (%d/%d)\n",
 		rate(fp.CPUMemoHits, fp.CPUMemoMisses), fp.CPUMemoHits, fp.CPUMemoHits+fp.CPUMemoMisses,
 		rate(fp.MemMemoHits, fp.MemMemoMisses), fp.MemMemoHits, fp.MemMemoHits+fp.MemMemoMisses,

@@ -8,7 +8,7 @@
 //	psim [-servers N] [-workers N] [-scheme default|late|dolly-2|dolly-4|perfcloud]
 //	     [-workload terasort|wordcount|inverted-index|spark-logreg|spark-pagerank|spark-svm]
 //	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v] [-stride on|off]
-//	     [-trace FILE] [-phase-report] [-phase-csv]
+//	     [-shards N] [-trace FILE] [-phase-report] [-phase-csv]
 //
 // -trace writes a Chrome-trace-event/Perfetto JSON timeline of every
 // task attempt (open it at https://ui.perfetto.dev or chrome://tracing);
@@ -44,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	verbose := flag.Bool("v", false, "print every control interval")
 	stride := flag.String("stride", "on", "event-driven time advancement: on|off (off forces per-tick stepping)")
+	shards := flag.Int("shards", 0, "cluster tick shards: 0 auto, n forced, -1 flat pre-shard path")
 	traceFile := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
 	phaseReport := flag.Bool("phase-report", false, "print per-job phase attribution and critical path")
 	phaseCSV := flag.Bool("phase-csv", false, "emit the phase tables as CSV instead of text")
@@ -57,6 +58,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psim: -stride must be on or off, got %q\n", *stride)
 		os.Exit(2)
 	}
+	cluster.SetDefaultShards(*shards)
 
 	cfg := experiments.TestbedConfig{
 		Seed:             *seed,

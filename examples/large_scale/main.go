@@ -1,4 +1,4 @@
-// Large scale: a 15-server, 150-worker virtual cluster running a mix of
+// Large scale: a 6-server, 48-worker virtual cluster running a mix of
 // MapReduce and Spark jobs (80% small, 20% large) with randomly placed
 // fio and STREAM antagonists — comparing LATE, Dolly and PerfCloud on
 // job degradation and resource-utilization efficiency, the setting of

@@ -153,6 +153,35 @@ func Regressions(base, cur []Result, maxPct float64) []string {
 	return out
 }
 
+// Ratio returns ns/op(num) / ns/op(den), locating each operand as the
+// first result whose name contains the given substring. It backs
+// scaling gates of the form "the 10x-larger configuration may cost at
+// most Kx per op": the two operands come from the same run, so the
+// check is machine-independent in a way absolute-baseline gates are
+// not. Errors name the missing operand or a zero denominator.
+func Ratio(results []Result, num, den string) (float64, error) {
+	find := func(sub string) (Result, error) {
+		for _, r := range results {
+			if strings.Contains(r.Name, sub) {
+				return r, nil
+			}
+		}
+		return Result{}, fmt.Errorf("no benchmark matching %q", sub)
+	}
+	n, err := find(num)
+	if err != nil {
+		return 0, err
+	}
+	d, err := find(den)
+	if err != nil {
+		return 0, err
+	}
+	if d.NsPerOp <= 0 {
+		return 0, fmt.Errorf("%s: non-positive ns/op %g as denominator", d.Name, d.NsPerOp)
+	}
+	return n.NsPerOp / d.NsPerOp, nil
+}
+
 // FormatDelta renders a one-line comparison of cur against base, e.g.
 //
 //	BenchmarkFoo-8  1234 ns/op  (baseline 2468, -50.0%)  7 allocs/op (=)

@@ -90,3 +90,29 @@ func TestRegressions(t *testing.T) {
 		t.Errorf("clean run flagged: %v", msgs)
 	}
 }
+
+func TestRatio(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkShardScale/servers=1024", NsPerOp: 1000},
+		{Name: "BenchmarkShardScale/servers=10240", NsPerOp: 1500},
+		{Name: "BenchmarkOther", NsPerOp: 0},
+	}
+	v, err := Ratio(results, "servers=10240", "servers=1024")
+	if err != nil || v != 1.5 {
+		t.Fatalf("Ratio = %v, %v, want 1.5", v, err)
+	}
+	// Substring match takes the first hit: "servers=1024" matches the
+	// 1024 row because it precedes the 10240 row.
+	if v, _ := Ratio(results, "servers=1024", "servers=1024"); v != 1 {
+		t.Errorf("self ratio = %v, want 1", v)
+	}
+	if _, err := Ratio(results, "nope", "servers=1024"); err == nil {
+		t.Error("missing numerator: want error")
+	}
+	if _, err := Ratio(results, "servers=10240", "nope"); err == nil {
+		t.Error("missing denominator: want error")
+	}
+	if _, err := Ratio(results, "servers=10240", "Other"); err == nil {
+		t.Error("zero denominator: want error")
+	}
+}

@@ -23,6 +23,7 @@ type VMSpec struct {
 	Priority cluster.Priority
 	AppID    string // "" for standalone VMs
 	ServerID string // "" lets the scheduler pick the least-loaded server
+	Zone     string // constrain placement to one zone (ignored with ServerID set)
 }
 
 // VMInfo is what the cloud manager tells node managers about a VM.
@@ -33,17 +34,35 @@ type VMInfo struct {
 	ServerID string
 }
 
-// Manager tracks placement over a cluster.
+// Manager tracks placement over a cluster. Placement state lives in an
+// incrementally maintained index (topology.go): per-server placed-vCPU
+// entries organized zone→rack→server, plus an indexed min-heap over them
+// keyed (placed vcpus, creation order). Boot, Terminate, Migrate and
+// RebalanceHighPriority update the index in O(log servers) and never
+// rescan the fleet's VMs.
 type Manager struct {
 	cluster *cluster.Cluster
 	rng     *sim.RNG
 	defCfg  cluster.ServerConfig
 	nextSrv int
+
+	topo    Topology
+	entries map[string]*srvEntry
+	heap    []*srvEntry
+	zones   []*Zone
+	seq     int
+	// syncedSeq mirrors the cluster's placement sequence as of the last
+	// index update; a mismatch means some mutation bypassed the manager
+	// (tests driving cluster.AddVM directly) and forces a rebuild.
+	syncedSeq uint64
 }
 
-// NewManager creates a cloud manager over an (initially empty) cluster.
+// NewManager creates a cloud manager over a (possibly pre-populated)
+// cluster, with the default zone/rack topology.
 func NewManager(c *cluster.Cluster, rng *sim.RNG) *Manager {
-	return &Manager{cluster: c, rng: rng, defCfg: cluster.DefaultServerConfig()}
+	m := &Manager{cluster: c, rng: rng, defCfg: cluster.DefaultServerConfig(), topo: DefaultTopology()}
+	m.rebuild()
+	return m
 }
 
 // Cluster returns the managed cluster.
@@ -61,18 +80,24 @@ func (m *Manager) ProvisionServers(n int) []*cluster.Server {
 // ProvisionServersWith adds n servers with an explicit hardware config —
 // heterogeneous fleets mix calls with different configs.
 func (m *Manager) ProvisionServersWith(n int, cfg cluster.ServerConfig) []*cluster.Server {
+	m.syncIndex()
 	out := make([]*cluster.Server, 0, n)
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("server-%d", m.nextSrv)
 		m.nextSrv++
-		out = append(out, m.cluster.AddServer(id, cfg, m.rng))
+		s := m.cluster.AddServer(id, cfg, m.rng)
+		m.indexServer(s)
+		out = append(out, s)
 	}
+	m.syncedSeq = m.cluster.PlacementSeq()
 	return out
 }
 
 // Boot creates a VM per spec. With an empty ServerID the scheduler picks
 // the server with the fewest placed vcpus (a simple spread placement,
-// matching how the paper's testbed distributes Hadoop VMs).
+// matching how the paper's testbed distributes Hadoop VMs) — the heap
+// root, in O(1) plus an O(log servers) update, regardless of fleet size.
+// A Zone constrains the spread to that zone's servers.
 func (m *Manager) Boot(spec VMSpec) (*cluster.VM, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("cloud: VM spec needs a name")
@@ -80,15 +105,22 @@ func (m *Manager) Boot(spec VMSpec) (*cluster.VM, error) {
 	if m.cluster.FindVM(spec.Name) != nil {
 		return nil, fmt.Errorf("cloud: VM %q already exists", spec.Name)
 	}
-	var srv *cluster.Server
-	if spec.ServerID != "" {
-		srv = m.cluster.FindServer(spec.ServerID)
-		if srv == nil {
+	m.syncIndex()
+	var e *srvEntry
+	switch {
+	case spec.ServerID != "":
+		e = m.entries[spec.ServerID]
+		if e == nil {
 			return nil, fmt.Errorf("cloud: no server %q", spec.ServerID)
 		}
-	} else {
-		srv = m.leastLoaded()
-		if srv == nil {
+	case spec.Zone != "":
+		e = m.leastLoadedInZone(spec.Zone)
+		if e == nil {
+			return nil, fmt.Errorf("cloud: no servers in zone %q", spec.Zone)
+		}
+	default:
+		e = m.leastLoaded()
+		if e == nil {
 			return nil, fmt.Errorf("cloud: no servers provisioned")
 		}
 	}
@@ -100,33 +132,26 @@ func (m *Manager) Boot(spec VMSpec) (*cluster.VM, error) {
 	if mem == 0 {
 		mem = 8 << 30
 	}
-	return m.cluster.AddVM(srv, spec.Name, vcpus, mem, spec.Priority, spec.AppID), nil
+	vm := m.cluster.AddVM(e.srv, spec.Name, vcpus, mem, spec.Priority, spec.AppID)
+	m.addPlaced(e, vcpus)
+	m.syncedSeq = m.cluster.PlacementSeq()
+	return vm, nil
 }
 
 // Terminate removes a VM from the cloud. Unknown ids are a no-op, so
 // idempotent teardown in experiments is cheap.
-func (m *Manager) Terminate(id string) { m.cluster.RemoveVM(id) }
-
-// leastLoaded returns the server with the fewest placed vcpus.
-func (m *Manager) leastLoaded() *cluster.Server {
-	var best *cluster.Server
-	bestLoad := -1.0
-	for _, s := range m.cluster.Servers() {
-		load := placedVCPUs(s)
-		if best == nil || load < bestLoad {
-			best, bestLoad = s, load
-		}
+func (m *Manager) Terminate(id string) {
+	v := m.cluster.FindVM(id)
+	if v == nil {
+		return
 	}
-	return best
-}
-
-// placedVCPUs sums the vcpus placed on a server without copying its VM list.
-func placedVCPUs(s *cluster.Server) float64 {
-	var load float64
-	s.EachVM(func(v *cluster.VM) {
-		load += v.VCPUs()
-	})
-	return load
+	m.syncIndex()
+	e := m.entries[v.Server().ID()]
+	m.cluster.RemoveVM(id)
+	if e != nil {
+		m.addPlaced(e, -v.VCPUs())
+	}
+	m.syncedSeq = m.cluster.PlacementSeq()
 }
 
 // VMsOnServer answers the node manager's periodic query: every VM hosted
@@ -197,8 +222,23 @@ func (m *Manager) LowPriorityVMs(serverID string) ([]string, error) {
 // migration as the cloud manager's complement to node-level throttling
 // when multiple high-priority apps collide (§III-D2, §IV-D2).
 func (m *Manager) Migrate(vmID, toServerID string) error {
+	m.syncIndex()
+	var srcID string
+	if v := m.cluster.FindVM(vmID); v != nil {
+		srcID = v.Server().ID()
+	}
 	if err := m.cluster.MoveVM(vmID, toServerID); err != nil {
 		return fmt.Errorf("cloud: %w", err)
+	}
+	if srcID != "" && srcID != toServerID {
+		v := m.cluster.FindVM(vmID)
+		if se := m.entries[srcID]; se != nil {
+			m.addPlaced(se, -v.VCPUs())
+		}
+		if de := m.entries[toServerID]; de != nil {
+			m.addPlaced(de, v.VCPUs())
+		}
+		m.syncedSeq = m.cluster.PlacementSeq()
 	}
 	return nil
 }
@@ -224,23 +264,14 @@ func (m *Manager) RebalanceHighPriority(serverID string) (string, error) {
 			pick = id
 		}
 	}
+	m.syncIndex()
 	src := m.cluster.FindServer(serverID)
-	var dst *cluster.Server
-	bestLoad := -1.0
-	for _, s := range m.cluster.Servers() {
-		if s == src {
-			continue
-		}
-		load := placedVCPUs(s)
-		if dst == nil || load < bestLoad {
-			dst, bestLoad = s, load
-		}
-	}
+	dst := m.leastLoadedExcluding(src)
 	if dst == nil {
 		return "", nil
 	}
 	vmID := apps[pick][0]
-	if err := m.Migrate(vmID, dst.ID()); err != nil {
+	if err := m.Migrate(vmID, dst.srv.ID()); err != nil {
 		return "", err
 	}
 	return vmID, nil

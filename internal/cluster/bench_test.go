@@ -142,6 +142,44 @@ func BenchmarkStrideAdvance(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScale pins the sharded tick path's O(active + shards)
+// contract: the same fixed set of busy servers (8 steady workloads)
+// inside fleets of different total size. Growing the fleet 10x grows
+// only the shard count (total/64 one-comparison skips per tick), so
+// ns/tick between the sub-benchmarks should stay well inside 2x — the
+// ratio `make bench-scale` gates on. A flat O(total) tick would scale
+// the cost 10x.
+func BenchmarkShardScale(b *testing.B) {
+	defer setAllFastPaths(true)()
+	for _, total := range []int{1024, 10240} {
+		b.Run(fmt.Sprintf("servers=%d", total), func(b *testing.B) {
+			eng := sim.NewEngine(100*time.Millisecond, 3)
+			cl := New()
+			cl.SetTickWorkers(1) // isolate the per-tick cost from fan-out noise
+			cl.SetShards(0)
+			const busy = 8
+			for s := 0; s < total; s++ {
+				srv := cl.AddServer(fmt.Sprintf("s%05d", s), DefaultServerConfig(), eng.RNG())
+				vm := cl.AddVM(srv, fmt.Sprintf("s%05d-vm", s), 2, 8<<30, LowPriority, "")
+				if s < busy {
+					vm.SetWorkload(&steadyBench{demand: busyDemand()})
+				}
+			}
+			clk := eng.Clock()
+			cl.Tick(clk) // first tick parks every idle server
+			cl.Tick(clk) // second settles scratch buffers and arms the memos
+			if got := cl.ActiveServers(); got != busy {
+				b.Fatalf("active servers = %d, want %d", got, busy)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Tick(clk)
+			}
+		})
+	}
+}
+
 func benchActiveTick(b *testing.B) {
 	eng := sim.NewEngine(100*time.Millisecond, 3)
 	cl := activeCluster(eng)

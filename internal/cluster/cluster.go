@@ -90,6 +90,13 @@ type Workload interface {
 	// Advance consumes one tick's grant.
 	Advance(tickSec float64, g Grant)
 	// Done reports whether the workload has finished all its work.
+	//
+	// Done is treated as terminal by the quiescence machinery: once a
+	// workload reports true while its server is idle, the server may stop
+	// being visited at all (DESIGN.md §5.7), so a transition back to false
+	// is only observed after something calls Server.MarkDirty (as the
+	// cap setters and placement changes do). Implementations that can
+	// re-arm a finished workload must dirty the server themselves.
 	Done() bool
 }
 
@@ -225,6 +232,29 @@ type Server struct {
 	cache *ContentCache
 	vms   []*VM
 
+	// clus and index tie the server back to its cluster and its stable
+	// position in the creation-order server slice; the sharded tick path
+	// keys its active bitset and shard ranges on index.
+	clus  *Cluster
+	index int
+
+	// active records membership in the cluster's active set. Inactive
+	// servers are provably quiescent and are not visited at all by the
+	// sharded tick path — the O(active) contract of DESIGN.md §5.7.
+	// wakePending marks servers already queued for reactivation so a
+	// burst of dirtying events enqueues them once.
+	active      bool
+	wakePending bool
+
+	// skipFrom is the cluster tick count at deactivation; the wake path
+	// derives the number of elided grant-phase ticks from it instead of
+	// counting them one by one.
+	skipFrom uint64
+
+	// pulled is the portion of this server's fast-path counters already
+	// folded into its shard's aggregate; see shard.pull.
+	pulled obs.FastPathSnapshot
+
 	// epoch counts placement changes (VM add/remove/migrate). Samplers key
 	// slice-indexed per-domain state on it: while the epoch is unchanged,
 	// EachVM reports the same domains in the same order, so a cached index
@@ -322,6 +352,7 @@ func (s *Server) Quiescent() bool { return s.quiescent }
 func (s *Server) MarkDirty() {
 	s.quiescent = false
 	s.steadyValid = false
+	s.activate()
 }
 
 // FastPathStats returns the server's cumulative fast-path accounting:
@@ -331,6 +362,19 @@ func (s *Server) MarkDirty() {
 // are owned by the goroutine ticking the server, so read them between
 // ticks (the monitoring/exposition cadence, not the tick hot path).
 func (s *Server) FastPathStats() obs.FastPathSnapshot {
+	fp := s.fastPathRaw()
+	// An inactive server has pending elided ticks that its own counters
+	// will only record on wake; fold them in so between-tick observers see
+	// the same totals the flat per-tick accounting would report.
+	if !s.active && s.clus != nil {
+		fp.QuiescentSkips += s.clus.ticks - s.skipFrom
+	}
+	return fp
+}
+
+// fastPathRaw returns the counters the server itself has recorded, with
+// no adjustment for ticks elided while inactive.
+func (s *Server) fastPathRaw() obs.FastPathSnapshot {
 	fp := obs.FastPathSnapshot{
 		QuiescentSkips: s.statSkipped,
 		SteadyReuses:   s.statSteady,
@@ -347,6 +391,22 @@ func (s *Server) bumpEpoch() {
 	s.epoch++
 	s.quiescent = false
 	s.steadyValid = false
+	s.activate()
+}
+
+// activate queues an inactive server for reactivation at the start of
+// the next sharded tick. Dirtying events arrive from sequential phases
+// only (framework ticks, workload Advance, controller actuation, test
+// setup) — never from the parallel grant fan-out — so the queue needs no
+// synchronization. Draining at the tick boundary keeps mid-sweep wakes
+// from mutating the active bitset while it is being iterated.
+func (s *Server) activate() {
+	c := s.clus
+	if c == nil || s.active || s.wakePending {
+		return
+	}
+	s.wakePending = true
+	c.wakes = append(c.wakes, s)
 }
 
 // ID returns the server's identifier.
@@ -398,6 +458,20 @@ func (s *Server) FindVM(id string) *VM {
 func (s *Server) grantPhase(tickSec float64, quiesce, reuse bool) {
 	n := len(s.vms)
 	if n == 0 {
+		// A server with no VMs is trivially quiescent: the pipeline has
+		// nothing to do and no draws to replay. Mark it so the sharded
+		// tick path can deactivate it, and account elided ticks the same
+		// way populated quiescent servers do (with an empty replay set).
+		if s.quiescent && quiesce {
+			if s.skipped == 0 {
+				s.skipIDs = s.skipIDs[:0]
+			}
+			s.skipped++
+			s.statSkipped++
+			return
+		}
+		s.catchUp()
+		s.quiescent = true
 		return
 	}
 	// Fused steady tick: armed only after a non-idle tick primed every
@@ -649,11 +723,44 @@ func (s *Server) advancePhase(tickSec float64) {
 // priority (after frameworks schedule, before controllers observe).
 type Cluster struct {
 	servers []*Server
+	srvByID map[string]*Server
 	vmsByID map[string]*VM
+
+	// placeSeq counts placement mutations (server add, VM add/remove/
+	// migrate). External indexes over the cluster (the cloud manager's
+	// load heap) revalidate against it instead of rescanning.
+	placeSeq uint64
 
 	// workers bounds the goroutines used for the parallel grant phase:
 	// 1 forces the sequential mode, 0 defers to the package default.
 	workers int
+
+	// ticks counts Tick invocations on the sharded path. It is the time
+	// base for O(1) elided-tick accounting: a server deactivated at tick
+	// k and woken while the counter reads w missed exactly w-1-k grant
+	// phases. Stride replays ticks without advancing the engine clock, so
+	// this cluster-owned counter — not sim.Clock — is the only correct
+	// base.
+	ticks uint64
+
+	// Sharded-tick state (DESIGN.md §5.7): the shard partition over the
+	// server slice, the active bitset it indexes, the wake queue drained
+	// at each tick boundary, and the cluster-wide inactive count.
+	shards      []shard
+	activeBits  []uint64
+	shardBits   []uint64 // bit per shard, set while the shard has active servers
+	wakes       []*Server
+	inactive    int
+	liveShards  []int // per-tick scratch: indices of shards with active servers
+	partServers int   // len(servers) at the last partition build
+	partSetting int   // shard setting at the last partition build
+	shardBase   int   // partition arithmetic: base shard size ...
+	shardRem    int   // ... and how many leading shards hold one extra
+
+	// shardsVal/shardsSet are the per-cluster shard-count override:
+	// unset defers to the package default (see SetDefaultShards).
+	shardsVal int
+	shardsSet bool
 
 	// quiesce selects the quiescence fast path for this cluster:
 	// 0 defers to the package default, 1 forces it on, 2 forces it off.
@@ -673,6 +780,10 @@ type Cluster struct {
 	// FastPathStats.
 	statStrideSkips       uint64
 	statHorizonRecomputes uint64
+
+	// statShardSkips counts shards skipped wholesale — per tick, per
+	// shard whose every server was inactive.
+	statShardSkips uint64
 }
 
 // defaultTickWorkers is the package-wide worker default for clusters that
@@ -741,7 +852,10 @@ func SetDefaultStride(enabled bool) bool {
 
 // New creates an empty cluster.
 func New() *Cluster {
-	return &Cluster{vmsByID: make(map[string]*VM)}
+	return &Cluster{
+		srvByID: make(map[string]*Server),
+		vmsByID: make(map[string]*VM),
+	}
 }
 
 // SetTickWorkers bounds the worker pool used to run the per-server grant
@@ -836,15 +950,24 @@ func (c *Cluster) AddServer(id string, cfg ServerConfig, rng *sim.RNG) *Server {
 	if c.FindServer(id) != nil {
 		panic(fmt.Sprintf("cluster: duplicate server %q", id))
 	}
+	// The per-server RNG streams are named by server id alone, so they
+	// depend only on (master seed, id) — never on which shard the server
+	// lands in or how many shards exist. Any repartition of the cluster
+	// therefore sees bit-identical random sequences.
 	s := &Server{
-		id:    id,
-		cfg:   cfg,
-		disk:  disk.New(cfg.Disk, rng.Streamf("disk/%s", id)),
-		cpu:   cpu.New(cfg.CPU),
-		mem:   memsys.New(cfg.Mem, rng.Streamf("memsys/%s", id)),
-		cache: NewContentCache(16<<30, 120),
+		id:     id,
+		cfg:    cfg,
+		disk:   disk.New(cfg.Disk, rng.Streamf("disk/%s", id)),
+		cpu:    cpu.New(cfg.CPU),
+		mem:    memsys.New(cfg.Mem, rng.Streamf("memsys/%s", id)),
+		cache:  NewContentCache(16<<30, 120),
+		clus:   c,
+		index:  len(c.servers),
+		active: true,
 	}
 	c.servers = append(c.servers, s)
+	c.srvByID[id] = s
+	c.placeSeq++
 	return s
 }
 
@@ -865,6 +988,7 @@ func (c *Cluster) AddVM(server *Server, id string, vcpus, memBytes float64, prio
 	server.vms = append(server.vms, v)
 	server.bumpEpoch()
 	c.vmsByID[id] = v
+	c.placeSeq++
 	return v
 }
 
@@ -895,6 +1019,7 @@ func (c *Cluster) MoveVM(vmID, serverID string) error {
 	v.server = dst
 	src.bumpEpoch()
 	dst.bumpEpoch()
+	c.placeSeq++
 	return nil
 }
 
@@ -915,34 +1040,69 @@ func (c *Cluster) RemoveVM(id string) {
 		}
 	}
 	srv.bumpEpoch()
+	c.placeSeq++
 }
 
+// PlacementSeq returns a counter that increments on every placement
+// mutation: server provisioning and VM add, remove or migrate. External
+// indexes built over the cluster (the cloud manager's load heap) compare
+// it against the value at their last sync to detect out-of-band changes.
+func (c *Cluster) PlacementSeq() uint64 { return c.placeSeq }
+
 // FastPathStats sums the fast-path accounting of every server in the
-// cluster and adds the cluster-level stride counters. Call it between
-// ticks (see Server.FastPathStats).
+// cluster and adds the cluster-level stride and shard counters. Call it
+// between ticks (see Server.FastPathStats). With a current shard
+// partition the sum is assembled in O(active servers + shards) from the
+// per-shard aggregates; otherwise it falls back to the full sweep.
 func (c *Cluster) FastPathStats() obs.FastPathSnapshot {
 	fp := obs.FastPathSnapshot{
 		StrideSkips:       c.statStrideSkips,
 		HorizonRecomputes: c.statHorizonRecomputes,
+		ShardSkips:        c.statShardSkips,
 	}
-	for _, s := range c.servers {
-		fp.Add(s.FastPathStats())
+	if !c.partitionCurrent() {
+		for _, s := range c.servers {
+			fp.Add(s.FastPathStats())
+		}
+		return fp
+	}
+	// Pull the still-active servers' fresh counter deltas into their
+	// shards (inactive servers were pulled when they deactivated), then
+	// sum the shard aggregates plus each shard's pending elided ticks.
+	c.eachActive(func(s *Server) { c.shards[c.shardIndex(s.index)].pull(s) })
+	for i := range c.shards {
+		sh := &c.shards[i]
+		fp.Add(sh.agg)
+		fp.QuiescentSkips += uint64(sh.inactive)*c.ticks - sh.sumSkipFrom
 	}
 	return fp
 }
 
-// Servers returns all servers in creation order.
+// Servers returns all servers in creation order (a copy). Iteration-only
+// callers should prefer EachServer, which does not allocate.
 func (c *Cluster) Servers() []*Server { return append([]*Server(nil), c.servers...) }
 
-// FindServer returns the server with the given id, or nil.
-func (c *Cluster) FindServer(id string) *Server {
+// EachServer calls fn for every server in creation order without copying
+// the server slice. fn must not add servers.
+func (c *Cluster) EachServer(fn func(*Server)) {
 	for _, s := range c.servers {
-		if s.id == id {
-			return s
-		}
+		fn(s)
 	}
-	return nil
 }
+
+// NumServers returns the number of servers in the cluster.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// NumVMs returns the number of VMs across all servers.
+func (c *Cluster) NumVMs() int { return len(c.vmsByID) }
+
+// ActiveServers returns how many servers are currently in the active set
+// (visited by the sharded tick path). With sharding disabled every server
+// counts as active.
+func (c *Cluster) ActiveServers() int { return len(c.servers) - c.inactive }
+
+// FindServer returns the server with the given id, or nil.
+func (c *Cluster) FindServer(id string) *Server { return c.srvByID[id] }
 
 // FindVM returns the VM with the given id, or nil.
 func (c *Cluster) FindVM(id string) *VM { return c.vmsByID[id] }
@@ -1001,6 +1161,23 @@ func (c *Cluster) Tick(clk *sim.Clock) {
 	tickSec := clk.TickSeconds()
 	quiesce := c.QuiescenceEnabled()
 	reuse := c.DemandReuseEnabled()
+	if c.ShardSetting() < 0 {
+		c.flatTick(tickSec, quiesce, reuse)
+		return
+	}
+	c.shardedTick(tickSec, quiesce, reuse)
+}
+
+// flatTick is the pre-shard tick path: every server is visited every
+// tick. Kept verbatim behind SetDefaultShards(-1)/SetShards(-1) so the
+// equivalence tests can compare the sharded path against it.
+func (c *Cluster) flatTick(tickSec float64, quiesce, reuse bool) {
+	if c.inactive > 0 {
+		// Sharding was just disabled with servers still parked in the
+		// inactive set; settle their pending elided ticks so the flat
+		// sweep below sees ordinary quiescent servers.
+		c.wakeAll(c.ticks)
+	}
 	sim.ForEachShared(len(c.servers), c.TickWorkers(), func(i int) {
 		c.servers[i].grantPhase(tickSec, quiesce, reuse)
 	})

@@ -13,6 +13,13 @@ import (
 // nothing but the cloud manager's read-only VM metadata.
 type System struct {
 	managers []*NodeManager
+
+	// Cached minimum of the managers' NextSampleSec, for StrideBound.
+	// A manager's next-interval time only moves when its Tick fires, and
+	// that only happens on a tick at or past the minimum — so the cached
+	// value stays exact for every tick strictly before it.
+	boundValid bool
+	nextAct    float64
 }
 
 // Attach deploys PerfCloud on every server of the cluster and registers
@@ -20,11 +27,11 @@ type System struct {
 // so each control interval observes completed measurements.
 func Attach(eng *sim.Engine, cl *cluster.Cluster, cm *cloud.Manager, cfg Config) *System {
 	sys := &System{}
-	for _, srv := range cl.Servers() {
+	cl.EachServer(func(srv *cluster.Server) {
 		nm := NewNodeManager(cfg, cm, hypervisor.New(srv))
 		sys.managers = append(sys.managers, nm)
 		eng.RegisterPriority(nm, 1)
-	}
+	})
 	return sys
 }
 
@@ -44,17 +51,28 @@ func (s *System) EachManager(fn func(*NodeManager)) {
 // StrideBound caps max to the number of upcoming ticks — starting with
 // the next tick to execute on clk — that fall strictly before every
 // agent's next control interval, so event-driven strides never elide a
-// tick on which some node manager would act.
+// tick on which some node manager would act. TicksBefore is monotone in
+// its target, so the per-manager minimum equals TicksBefore of the
+// earliest next interval — which is cached across calls and recomputed
+// only once the clock reaches it, making the per-stride cost O(1)
+// instead of O(managers) on a planet-scale fleet.
 func (s *System) StrideBound(clk *sim.Clock, max int64) int64 {
-	for _, nm := range s.managers {
-		if max <= 0 {
-			return 0
-		}
-		if b := clk.TicksBefore(nm.NextSampleSec(), max); b < max {
-			max = b
-		}
+	if len(s.managers) == 0 {
+		return max
 	}
-	return max
+	if max <= 0 {
+		return 0
+	}
+	if !s.boundValid || !(clk.PeekSeconds(0) < s.nextAct) {
+		s.nextAct = s.managers[0].NextSampleSec()
+		for _, nm := range s.managers[1:] {
+			if t := nm.NextSampleSec(); t < s.nextAct {
+				s.nextAct = t
+			}
+		}
+		s.boundValid = true
+	}
+	return clk.TicksBefore(s.nextAct, max)
 }
 
 // Manager returns the agent for the given server id, or nil.

@@ -62,6 +62,9 @@ type FastPathSnapshot struct {
 	// computed.
 	StrideSkips       uint64 `json:"stride_skips"`
 	HorizonRecomputes uint64 `json:"horizon_recomputes"`
+	// ShardSkips counts whole shards skipped by the sharded tick path —
+	// one per tick per shard whose every server sat in the inactive set.
+	ShardSkips uint64 `json:"shard_skips,omitempty"`
 	// Per-resource allocator input-memo accounting.
 	CPUMemoHits    uint64 `json:"cpu_memo_hits"`
 	CPUMemoMisses  uint64 `json:"cpu_memo_misses"`
@@ -78,12 +81,32 @@ func (s *FastPathSnapshot) Add(o FastPathSnapshot) {
 	s.Rebuilds += o.Rebuilds
 	s.StrideSkips += o.StrideSkips
 	s.HorizonRecomputes += o.HorizonRecomputes
+	s.ShardSkips += o.ShardSkips
 	s.CPUMemoHits += o.CPUMemoHits
 	s.CPUMemoMisses += o.CPUMemoMisses
 	s.MemMemoHits += o.MemMemoHits
 	s.MemMemoMisses += o.MemMemoMisses
 	s.DiskMemoHits += o.DiskMemoHits
 	s.DiskMemoMisses += o.DiskMemoMisses
+}
+
+// Sub subtracts another snapshot from s. With o a past reading of the
+// same monotone counters, the result is the delta accumulated since —
+// how incremental aggregators (the cluster's per-shard stats) fold a
+// server's fresh counters into a running total.
+func (s *FastPathSnapshot) Sub(o FastPathSnapshot) {
+	s.QuiescentSkips -= o.QuiescentSkips
+	s.SteadyReuses -= o.SteadyReuses
+	s.Rebuilds -= o.Rebuilds
+	s.StrideSkips -= o.StrideSkips
+	s.HorizonRecomputes -= o.HorizonRecomputes
+	s.ShardSkips -= o.ShardSkips
+	s.CPUMemoHits -= o.CPUMemoHits
+	s.CPUMemoMisses -= o.CPUMemoMisses
+	s.MemMemoHits -= o.MemMemoHits
+	s.MemMemoMisses -= o.MemMemoMisses
+	s.DiskMemoHits -= o.DiskMemoHits
+	s.DiskMemoMisses -= o.DiskMemoMisses
 }
 
 // Event is one typed control-plane record. It is a flat union: fields

@@ -105,6 +105,13 @@ func (w *Benchmark) Name() string { return w.name }
 
 // SetLimits replaces the benchmark's termination limits (e.g. to give an
 // endless antagonist a finite amount of work mid-experiment).
+//
+// Done is terminal as far as the cluster's quiescence machinery is
+// concerned: once every workload on a server reports Done the server may
+// be parked out of the active set and stop ticking. Widening the limits
+// of a finished benchmark to re-arm it therefore also requires
+// cluster.Server.MarkDirty on the hosting server, so the server rejoins
+// the active set and observes the revived demand.
 func (w *Benchmark) SetLimits(l Limits) {
 	w.limits = l
 	w.epoch++ // may flip Done and hence Active
