@@ -7,7 +7,15 @@
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
 //	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE] [-fastpaths]
-//	          [-tracedir DIR] [-shards N]
+//	          [-tracedir DIR] [-shards N] [-scorecard]
+//
+// -scorecard grades every scheme's cap decisions against the testbed's
+// ground-truth antagonist registry and appends a detection scorecard
+// table (precision, recall, false-cap rate, time-to-detect, cap dwell,
+// JCT recovery) after the Fig 11, Fig 12 and control-ablation tables.
+// Scoring is a pure observer of the audit-event stream: result tables
+// are bit-identical with or without it, and scorecards themselves are
+// deterministic per seed.
 //
 // -tracedir enables data-plane tracing for the Fig 11/12 experiments:
 // every repetition writes a Perfetto/chrome-trace JSON timeline into the
@@ -69,6 +77,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	fastpaths := flag.Bool("fastpaths", false, "print the simulation's cumulative fast-path hit-rate counters after the run")
+	scorecard := flag.Bool("scorecard", false, "grade each scheme's cap decisions against ground truth and print detection scorecards (Figs 11, 12, control ablation)")
 	tracedir := flag.String("tracedir", "", "directory to write per-repetition Perfetto traces (Figs 11, 12)")
 	shards := flag.Int("shards", 0, "cluster tick shards: 0 auto, n forced, -1 flat pre-shard path")
 	flag.Parse()
@@ -84,6 +93,9 @@ func main() {
 			os.Exit(1)
 		}
 		experiments.SetTraceDir(*tracedir)
+	}
+	if *scorecard {
+		experiments.SetScorecards(true)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -221,13 +233,17 @@ func main() {
 				cfg.NumMR, cfg.NumSpark = 20, 20
 				cfg.Fio, cfg.Streams = 4, 4
 			}
-			emit(experiments.Fig11With(cfg, []experiments.Scheme{
+			r := experiments.Fig11With(cfg, []experiments.Scheme{
 				experiments.SchemeLATE(),
 				experiments.SchemeDolly(2),
 				experiments.SchemeDolly(4),
 				experiments.SchemeDolly(6),
 				experiments.SchemePerfCloud(),
-			}).Table())
+			})
+			emit(r.Table())
+			if *scorecard {
+				emit(r.ScorecardTable())
+			}
 		})
 	}
 	if want("12") {
@@ -239,17 +255,25 @@ func main() {
 				cfg.Runs, cfg.Tasks = 8, 20
 				cfg.Fio, cfg.Streams = 4, 4
 			}
-			emit(experiments.Fig12With(cfg, []experiments.Scheme{
+			r := experiments.Fig12With(cfg, []experiments.Scheme{
 				experiments.SchemeLATE(),
 				experiments.SchemeDolly(2),
 				experiments.SchemePerfCloud(),
-			}).Table())
+			})
+			emit(r.Table())
+			if *scorecard {
+				emit(r.ScorecardTable())
+			}
 		})
 	}
 	if want("ablations") {
 		emit(experiments.AblationDetector(*seed).Table())
 		emit(experiments.AblationPearson(*seed).Table())
-		emit(experiments.AblationControl(*seed).Table())
+		rc := experiments.AblationControl(*seed)
+		emit(rc.Table())
+		if *scorecard {
+			emit(rc.ScorecardTable())
+		}
 		emit(experiments.AblationEWMA(*seed).Table())
 	}
 	if want("extensions") {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"perfcloud/internal/obs"
@@ -10,21 +11,25 @@ import (
 
 // daemonServer exposes a running (or finished) daemon's observability
 // state over HTTP: Prometheus text on /metrics, the decision audit
-// log's retained tail on /debug/events, and the simulation's fast-path
-// accounting on /debug/fastpaths. All three are safe to serve while
-// the simulation is stepping: the registry and ring are internally
-// synchronized, and the fast-path snapshot is replaced under mu by the
-// run loop's OnInterval hook rather than read live from the cluster.
+// log's retained tail on /debug/events, the simulation's fast-path
+// accounting on /debug/fastpaths, the daemon's time series on
+// /debug/series and the latest detection scorecard on /debug/score.
+// All endpoints are safe to serve while the simulation is stepping:
+// the registries and ring are internally synchronized, and the
+// fast-path snapshot and scorecard are replaced under mu by the run
+// loop's hooks rather than read live from the cluster.
 type daemonServer struct {
-	reg  *obs.Registry
-	ring *obs.Ring
+	reg    *obs.Registry
+	ring   *obs.Ring
+	series *obs.SeriesRegistry
 
-	mu   sync.Mutex
-	fast obs.FastPathSnapshot
+	mu    sync.Mutex
+	fast  obs.FastPathSnapshot
+	score *obs.Scorecard
 }
 
-func newDaemonServer(reg *obs.Registry, ring *obs.Ring) *daemonServer {
-	return &daemonServer{reg: reg, ring: ring}
+func newDaemonServer(reg *obs.Registry, ring *obs.Ring, series *obs.SeriesRegistry) *daemonServer {
+	return &daemonServer{reg: reg, ring: ring, series: series}
 }
 
 // setFastPaths is the runConfig.OnInterval hook.
@@ -34,16 +39,25 @@ func (s *daemonServer) setFastPaths(fp obs.FastPathSnapshot) {
 	s.mu.Unlock()
 }
 
+// setScore is the runConfig.OnScore hook.
+func (s *daemonServer) setScore(sc obs.Scorecard) {
+	s.mu.Lock()
+	s.score = &sc
+	s.mu.Unlock()
+}
+
 func (s *daemonServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/debug/events", s.serveEvents)
 	mux.HandleFunc("/debug/fastpaths", s.serveFastPaths)
+	mux.HandleFunc("/debug/series", s.serveSeries)
+	mux.HandleFunc("/debug/score", s.serveScore)
 	return mux
 }
 
 func (s *daemonServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", obs.ContentType)
 	if err := s.reg.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -65,4 +79,46 @@ func (s *daemonServer) serveFastPaths(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(fp)
+}
+
+// serveSeries renders the daemon's time series. ?since=<simSeconds>
+// returns only points strictly after that simulation time (delta
+// scrape); ?max=N downsamples each series to at most N points.
+func (s *daemonServer) serveSeries(w http.ResponseWriter, r *http.Request) {
+	var since float64
+	var max int
+	if v := r.URL.Query().Get("since"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = f
+	}
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad max: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.series.WriteJSON(w, since, max); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveScore returns the latest detection scorecard, or 404 until the
+// run has finished and graded itself.
+func (s *daemonServer) serveScore(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sc := s.score
+	s.mu.Unlock()
+	if sc == nil {
+		http.Error(w, "no scorecard yet: run still in progress", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sc)
 }

@@ -6,8 +6,12 @@
 //
 // With -http the daemon also exposes its control-plane observability:
 // a Prometheus /metrics endpoint, the typed decision audit log on
-// /debug/events, and the simulation's fast-path accounting on
-// /debug/fastpaths. -events appends the full audit log as JSONL.
+// /debug/events, the simulation's fast-path accounting on
+// /debug/fastpaths, the daemon's time series on /debug/series
+// (?since=<simSeconds> for delta scrapes, ?max=N to downsample) and,
+// once the run finishes, the detection scorecard — cap decisions graded
+// against the testbed's ground-truth antagonist registry — on
+// /debug/score. -events appends the full audit log as JSONL.
 // -trace records every task attempt with phase attribution and writes a
 // Perfetto/chrome-trace JSON timeline, with the agent's cap/release
 // decisions as instant markers.
@@ -64,16 +68,18 @@ func main() {
 	var srv *daemonServer
 	if *httpAddr != "" {
 		cfg.Metrics = obs.NewRegistry()
-		srv = newDaemonServer(cfg.Metrics, obs.NewRing(4096))
+		cfg.Series = obs.NewSeriesRegistry(0)
+		srv = newDaemonServer(cfg.Metrics, obs.NewRing(4096), cfg.Series)
 		sinks = append(sinks, srv.ring)
 		cfg.OnInterval = srv.setFastPaths
+		cfg.OnScore = srv.setScore
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfcloudd:", err)
 			os.Exit(1)
 		}
 		go http.Serve(ln, srv.handler())
-		fmt.Printf("perfcloudd: serving /metrics, /debug/events, /debug/fastpaths on http://%s\n", ln.Addr())
+		fmt.Printf("perfcloudd: serving /metrics, /debug/{events,fastpaths,series,score} on http://%s\n", ln.Addr())
 	}
 	if len(sinks) > 0 {
 		cfg.Events = sinks

@@ -25,10 +25,19 @@ type runConfig struct {
 	Metrics  *obs.Registry
 	Events   obs.Sink
 	Log      io.Writer
+	// Series, when non-nil, receives the daemon's time series: per-
+	// interval deviation signals and the throttle footprint, stamped
+	// with exact simulation timestamps (the /debug/series endpoint
+	// serves them with delta-scrape and downsampling).
+	Series *obs.SeriesRegistry
 	// OnInterval, when non-nil, is called after every control interval
 	// with the cluster's cumulative fast-path snapshot — the hook the
 	// /debug/fastpaths endpoint reads through.
 	OnInterval func(obs.FastPathSnapshot)
+	// OnScore, when non-nil, makes the run retain its own audit-event
+	// collector and grade the cap decisions against the testbed's
+	// ground-truth antagonist registry when the run ends.
+	OnScore func(obs.Scorecard)
 	// Tracer, when non-nil, records job/task/attempt spans with phase
 	// attribution for the whole run (-trace exports them as Perfetto).
 	Tracer *tracing.Tracer
@@ -44,9 +53,21 @@ func run(cfg runConfig) error {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
+	// Scoring needs the full event stream regardless of what the caller
+	// wired, so it keeps a private collector alongside cfg.Events.
+	var col *obs.Collector
+	events := cfg.Events
+	if cfg.OnScore != nil {
+		col = obs.NewCollector()
+		if events != nil {
+			events = obs.MultiSink{events, col}
+		} else {
+			events = col
+		}
+	}
 	ctl := experiments.ControllerConfig()
 	ctl.Metrics = cfg.Metrics
-	ctl.Events = cfg.Events
+	ctl.Events = events
 	tb := experiments.NewTestbed(experiments.TestbedConfig{
 		Seed:      cfg.Seed,
 		PerfCloud: ctl,
@@ -75,6 +96,8 @@ func run(cfg runConfig) error {
 		"Whole-cluster ticks elided by event-driven strides.")
 	gHorizons := cfg.Metrics.Gauge("perfcloud_fastpath_horizon_recomputes",
 		"Next-event horizon computations backing the strides.")
+	gShardSkips := cfg.Metrics.Gauge("perfcloud_fastpath_shard_skips",
+		"Whole-shard ticks elided by the sharded tick.")
 	memoHits := [3]*obs.Gauge{}
 	memoMisses := [3]*obs.Gauge{}
 	for i, res := range []string{"cpu", "mem", "disk"} {
@@ -85,6 +108,14 @@ func run(cfg runConfig) error {
 			"Allocator input-memo misses.", l)
 	}
 
+	// Daemon time series. Throttle footprint is sampled at observe time;
+	// the deviation signals are appended from the node manager's trace
+	// entries below, so each point carries the control interval's exact
+	// simulation timestamp even when strides elided the ticks between.
+	sCapped := cfg.Series.Series("capped_vms")
+	sIowait := cfg.Series.Series("dev_iowait", obs.Label{Key: "server", Value: "server-0"})
+	sCPI := cfg.Series.Series("dev_cpi", obs.Label{Key: "server", Value: "server-0"})
+
 	interval := ctl.IntervalSec
 	observe := func(now float64) {
 		fp := tb.Clus.FastPathStats()
@@ -93,6 +124,7 @@ func run(cfg runConfig) error {
 		gRebuilds.Set(float64(fp.Rebuilds))
 		gStrides.Set(float64(fp.StrideSkips))
 		gHorizons.Set(float64(fp.HorizonRecomputes))
+		gShardSkips.Set(float64(fp.ShardSkips))
 		hits := [3]uint64{fp.CPUMemoHits, fp.MemMemoHits, fp.DiskMemoHits}
 		misses := [3]uint64{fp.CPUMemoMisses, fp.MemMemoMisses, fp.DiskMemoMisses}
 		for i := range hits {
@@ -106,8 +138,9 @@ func run(cfg runConfig) error {
 			}
 		})
 		gCapped.Set(float64(capped))
-		if cfg.Events != nil {
-			cfg.Events.Emit(obs.Event{T: now, Type: obs.EventFastPaths, Fast: &fp})
+		sCapped.Append(now, float64(capped))
+		if events != nil {
+			events.Emit(obs.Event{T: now, Type: obs.EventFastPaths, Fast: &fp})
 		}
 		if cfg.OnInterval != nil {
 			cfg.OnInterval(fp)
@@ -160,10 +193,18 @@ func run(cfg runConfig) error {
 		}
 		trace := nm.Trace()
 		for ; logged < len(trace); logged++ {
-			logEntry(cfg.Log, trace[logged])
+			e := trace[logged]
+			sIowait.Append(e.TimeSec, e.IowaitDev)
+			sCPI.Append(e.TimeSec, e.CPIDev)
+			logEntry(cfg.Log, e)
 		}
 	}
 	fmt.Fprintf(cfg.Log, "perfcloudd: shutting down after %v simulated\n", cfg.Duration)
+	if cfg.OnScore != nil {
+		sc := obs.Score(col.Events(), tb.Truth, tb.Eng.Clock().Seconds())
+		sc.Scheme = "perfcloud"
+		cfg.OnScore(sc)
+	}
 	return nil
 }
 

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -71,44 +74,72 @@ func TestAuditLogCoversTheDecisionPipeline(t *testing.T) {
 	}
 }
 
-func TestHTTPEndpoints(t *testing.T) {
-	reg := obs.NewRegistry()
-	srv := newDaemonServer(reg, obs.NewRing(4096))
-	err := run(runConfig{
-		Duration: 3 * time.Minute, Seed: 42,
-		Metrics: reg, Events: srv.ring,
-		OnInterval: srv.setFastPaths,
+// daemonFixture runs the full daemon scenario once with every
+// observability hook wired and hands each HTTP test the populated
+// server — the run is the expensive part, the handlers are cheap.
+var daemonFixture struct {
+	once sync.Once
+	srv  *daemonServer
+	err  error
+}
+
+func fixtureServer(t *testing.T) *daemonServer {
+	t.Helper()
+	daemonFixture.once.Do(func() {
+		reg := obs.NewRegistry()
+		sr := obs.NewSeriesRegistry(0)
+		srv := newDaemonServer(reg, obs.NewRing(4096), sr)
+		daemonFixture.err = run(runConfig{
+			Duration: 3 * time.Minute, Seed: 42,
+			Metrics: reg, Events: srv.ring, Series: sr,
+			OnInterval: srv.setFastPaths,
+			OnScore:    srv.setScore,
+		})
+		daemonFixture.srv = srv
 	})
+	if daemonFixture.err != nil {
+		t.Fatal(daemonFixture.err)
+	}
+	return daemonFixture.srv
+}
+
+// get fetches a path from the fixture server and returns status, body
+// and the Content-Type header.
+func get(t *testing.T, path string) (int, []byte, string) {
+	t.Helper()
+	ts := httptest.NewServer(fixtureServer(t).handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	get := func(path string) []byte {
-		t.Helper()
-		resp, err := ts.Client().Get(ts.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != 200 {
-			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-		}
-		body, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return body
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return resp.StatusCode, body, resp.Header.Get("Content-Type")
+}
 
-	metrics := string(get("/metrics"))
+func mustGet(t *testing.T, path string) []byte {
+	t.Helper()
+	status, body, _ := get(t, path)
+	if status != 200 {
+		t.Fatalf("GET %s: status %d", path, status)
+	}
+	return body
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+
+	metrics := string(mustGet(t, "/metrics"))
 	for _, want := range []string{
 		"# TYPE perfcloud_intervals_total counter",
 		`perfcloud_intervals_total{server="server-0"}`,
 		"# TYPE perfcloud_iowait_dev histogram",
 		`perfcloud_cap_updates_total{res="io",server="server-0"}`,
 		"perfcloud_fastpath_steady_reuses",
+		"perfcloud_fastpath_shard_skips",
 		"perfcloud_capped_vms",
 	} {
 		if !strings.Contains(metrics, want) {
@@ -121,7 +152,7 @@ func TestHTTPEndpoints(t *testing.T) {
 		Retained int         `json:"retained"`
 		Events   []obs.Event `json:"events"`
 	}
-	if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
+	if err := json.Unmarshal(mustGet(t, "/debug/events"), &events); err != nil {
 		t.Fatal(err)
 	}
 	if events.Total == 0 || events.Retained == 0 {
@@ -136,10 +167,160 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	var fp obs.FastPathSnapshot
-	if err := json.Unmarshal(get("/debug/fastpaths"), &fp); err != nil {
+	if err := json.Unmarshal(mustGet(t, "/debug/fastpaths"), &fp); err != nil {
 		t.Fatal(err)
 	}
 	if fp.SteadyReuses == 0 || fp.CPUMemoHits == 0 {
 		t.Errorf("fast-path snapshot looks empty: %+v", fp)
+	}
+}
+
+// TestMetricsContentType pins the Prometheus exposition contract:
+// the documented text-format Content-Type and a body every line of
+// which is a comment or a parseable `name{labels} value` sample.
+func TestMetricsContentType(t *testing.T) {
+	status, body, ct := get(t, "/metrics")
+	if status != 200 {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	if ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty /metrics body")
+	}
+	for _, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+	}
+}
+
+// TestFastPathFieldNamesPinned pins the /debug/fastpaths JSON field
+// names external dashboards key on — renaming a struct tag must fail
+// here, not in a consumer.
+func TestFastPathFieldNamesPinned(t *testing.T) {
+	var raw map[string]any
+	if err := json.Unmarshal(mustGet(t, "/debug/fastpaths"), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"quiescent_skips", "steady_reuses", "rebuilds",
+		"stride_skips", "horizon_recomputes", "shard_skips",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/debug/fastpaths missing pinned field %q (got %v)", key, raw)
+		}
+	}
+}
+
+// TestScoreEndpoint checks the run graded itself against ground truth
+// and the endpoint serves the scorecard as JSON.
+func TestScoreEndpoint(t *testing.T) {
+	var sc obs.Scorecard
+	if err := json.Unmarshal(mustGet(t, "/debug/score"), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scheme != "perfcloud" {
+		t.Fatalf("scorecard scheme = %q", sc.Scheme)
+	}
+	// The canonical scenario has one real antagonist (fio) plus two
+	// decoys; the agent detects and caps it within the 3 minutes.
+	if sc.TotalAntagonists != 1 {
+		t.Fatalf("TotalAntagonists = %d, want 1", sc.TotalAntagonists)
+	}
+	if sc.DetectedAntagonists == 0 || sc.CappedVMs == 0 {
+		t.Fatalf("daemon scorecard shows no detections: %+v", sc)
+	}
+
+	// Before any run completes, the endpoint 404s instead of serving a
+	// zero-valued card.
+	empty := httptest.NewServer(newDaemonServer(obs.NewRegistry(), obs.NewRing(8), nil).handler())
+	defer empty.Close()
+	resp, err := empty.Client().Get(empty.URL + "/debug/score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("fresh daemon /debug/score status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSeriesEndpoint checks the time-series scrape: full dump, delta
+// scrape via ?since, and ?max downsampling.
+func TestSeriesEndpoint(t *testing.T) {
+	type series struct {
+		Series string            `json:"series"`
+		Total  uint64            `json:"total"`
+		Points []obs.SeriesPoint `json:"points"`
+	}
+	decode := func(path string) map[string]series {
+		t.Helper()
+		var out struct {
+			Series []series `json:"series"`
+		}
+		if err := json.Unmarshal(mustGet(t, path), &out); err != nil {
+			t.Fatal(err)
+		}
+		m := make(map[string]series, len(out.Series))
+		for _, s := range out.Series {
+			m[s.Series] = s
+		}
+		return m
+	}
+
+	full := decode("/debug/series")
+	for _, key := range []string{
+		"capped_vms", `dev_iowait{server="server-0"}`, `dev_cpi{server="server-0"}`,
+	} {
+		s, ok := full[key]
+		if !ok {
+			t.Fatalf("/debug/series missing %q (got %v)", key, full)
+		}
+		if len(s.Points) == 0 || s.Total == 0 {
+			t.Fatalf("series %q is empty", key)
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].T < s.Points[i-1].T {
+				t.Fatalf("series %q timestamps not monotone: %v", key, s.Points)
+			}
+		}
+	}
+
+	// Delta scrape: ask for everything after the midpoint timestamp of
+	// capped_vms and expect exactly the strictly-newer points.
+	pts := full["capped_vms"].Points
+	mid := pts[len(pts)/2].T
+	delta := decode(fmt.Sprintf("/debug/series?since=%g", mid))
+	want := 0
+	for _, p := range pts {
+		if p.T > mid {
+			want++
+		}
+	}
+	if got := len(delta["capped_vms"].Points); got != want {
+		t.Fatalf("delta scrape returned %d points, want %d", got, want)
+	}
+
+	// Downsampling bounds every series' point count.
+	capped := decode("/debug/series?max=5")
+	for key, s := range capped {
+		if len(s.Points) > 5 {
+			t.Fatalf("series %q has %d points with max=5", key, len(s.Points))
+		}
+	}
+
+	// Bad parameters are rejected.
+	if status, _, _ := get(t, "/debug/series?since=nope"); status != 400 {
+		t.Fatalf("bad since: status %d, want 400", status)
 	}
 }

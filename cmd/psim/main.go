@@ -8,12 +8,14 @@
 //	psim [-servers N] [-workers N] [-scheme default|late|dolly-2|dolly-4|perfcloud]
 //	     [-workload terasort|wordcount|inverted-index|spark-logreg|spark-pagerank|spark-svm]
 //	     [-jobs N] [-fio N] [-streams N] [-seed N] [-v] [-stride on|off]
-//	     [-shards N] [-trace FILE] [-phase-report] [-phase-csv]
+//	     [-shards N] [-trace FILE] [-phase-report] [-phase-csv] [-scorecard]
 //
 // -trace writes a Chrome-trace-event/Perfetto JSON timeline of every
 // task attempt (open it at https://ui.perfetto.dev or chrome://tracing);
 // -phase-report prints the per-job phase-attribution and critical-path
-// tables; -phase-csv emits the same tables as CSV.
+// tables; -phase-csv emits the same tables as CSV; -scorecard grades the
+// run's cap decisions against the testbed's ground truth (which VMs
+// really were antagonists, and when) and prints the detection scorecard.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
 	phaseReport := flag.Bool("phase-report", false, "print per-job phase attribution and critical path")
 	phaseCSV := flag.Bool("phase-csv", false, "emit the phase tables as CSV instead of text")
+	scorecard := flag.Bool("scorecard", false, "grade cap decisions against ground truth and print the scorecard")
 	flag.Parse()
 
 	switch *stride {
@@ -89,10 +92,10 @@ func main() {
 	if *traceFile != "" || *phaseReport || *phaseCSV {
 		tr = trace.NewTracer()
 		cfg.Tracer = tr
-		if cfg.PerfCloud != nil {
-			col = obs.NewCollector()
-			cfg.PerfCloud.Events = col
-		}
+	}
+	if cfg.PerfCloud != nil && (tr != nil || *scorecard) {
+		col = obs.NewCollector()
+		cfg.PerfCloud.Events = col
 	}
 
 	tb := experiments.NewTestbed(cfg)
@@ -184,6 +187,16 @@ func main() {
 				}
 			}
 		}
+	}
+
+	if *scorecard {
+		var events []obs.Event
+		if col != nil {
+			events = col.Events()
+		}
+		sc := obs.Score(events, tb.Truth, tb.Eng.Clock().Seconds())
+		sc.Scheme = *scheme
+		fmt.Println("scorecard:", sc)
 	}
 
 	if tb.Sys != nil {

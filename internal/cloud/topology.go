@@ -51,6 +51,16 @@ func (z *Zone) PlacedVCPUs() float64 { return z.placed }
 // Racks returns the zone's racks in creation order (a copy).
 func (z *Zone) Racks() []*Rack { return append([]*Rack(nil), z.racks...) }
 
+// NumServers returns the number of servers assigned to the zone.
+// O(racks in the zone), cheap enough for per-sample telemetry.
+func (z *Zone) NumServers() int {
+	n := 0
+	for _, r := range z.racks {
+		n += len(r.servers)
+	}
+	return n
+}
+
 // Rack is one rack: an ordered set of servers with a running placed-vCPU
 // total.
 type Rack struct {
@@ -277,6 +287,15 @@ func (m *Manager) Topology() Topology { return m.topo }
 func (m *Manager) Zones() []*Zone {
 	m.syncIndex()
 	return append([]*Zone(nil), m.zones...)
+}
+
+// EachZone calls fn for every zone in creation order without copying —
+// the telemetry rollup key for the fleet's top level.
+func (m *Manager) EachZone(fn func(*Zone)) {
+	m.syncIndex()
+	for _, z := range m.zones {
+		fn(z)
+	}
 }
 
 // ServerLocation returns the zone and rack ids hosting the given server.

@@ -190,6 +190,44 @@ func (c *Cluster) ensureShards() {
 	c.partServers, c.partSetting = n, want
 }
 
+// ShardStats is one shard's telemetry rollup key and occupancy — the
+// granularity at which fleet-scale exporters aggregate, so a 10k-server
+// cluster exposes ~160 shard series instead of 10k server series.
+type ShardStats struct {
+	Index   int // shard index, stable for a given partition
+	Servers int // servers in the shard's range
+	Active  int // of those, currently in the active set
+}
+
+// EachShardStats calls fn once per shard in index order, building the
+// partition if needed. O(shards) per call; a no-op with sharding
+// disabled or an empty cluster. Call between ticks, like FastPathStats.
+func (c *Cluster) EachShardStats(fn func(ShardStats)) {
+	if !c.ShardingEnabled() || len(c.servers) == 0 {
+		return
+	}
+	c.ensureShards()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		fn(ShardStats{Index: i, Servers: sh.end - sh.start, Active: sh.active})
+	}
+}
+
+// ShardOf returns the shard index hosting the given server id, or -1 if
+// the server is unknown or sharding is disabled — the locate primitive
+// hierarchical telemetry rollups key on.
+func (c *Cluster) ShardOf(serverID string) int {
+	if !c.ShardingEnabled() || len(c.servers) == 0 {
+		return -1
+	}
+	s, ok := c.srvByID[serverID]
+	if !ok {
+		return -1
+	}
+	c.ensureShards()
+	return c.shardIndex(s.index)
+}
+
 // shardIndex maps a server index to its shard: the first shardRem shards
 // hold shardBase+1 servers, the rest shardBase.
 func (c *Cluster) shardIndex(i int) int {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"perfcloud/internal/core"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/trace"
 	"perfcloud/internal/workloads"
@@ -23,6 +24,9 @@ type AblationControlRow struct {
 	CapStdDev  float64 // std-dev of the applied fio cap while throttled
 	FioIOPS    float64
 	PeakIowait float64
+	// Score grades the policy's cap decisions against ground truth; nil
+	// unless scorecards are enabled (SetScorecards).
+	Score *obs.Scorecard
 }
 
 // AblationControlResult compares CUBIC (the paper's Eq. 1), AIMD and the
@@ -57,6 +61,12 @@ func ablationControlRun(seed int64, policy string) AblationControlRow {
 	case "static":
 		pc = ObserverConfig()
 	}
+	scoring := scorecardsOn()
+	var col *obs.Collector
+	if scoring {
+		col = obs.NewCollector()
+		pc.Events = col
+	}
 	tb := NewTestbed(TestbedConfig{Seed: seed, WorkersPerServer: fig9Workers, PerfCloud: pc})
 	fio := workloads.NewFioRandRead(workloads.BurstPattern{
 		StartOffset: 15 * time.Second, On: 60 * time.Second, Off: 15 * time.Second})
@@ -85,6 +95,9 @@ func ablationControlRun(seed int64, policy string) AblationControlRow {
 		}
 	}
 	row.CapStdDev = stats.StdDev(caps)
+	if scoring {
+		row.Score = scoreRun(tb, col, policy, tb.Eng.Clock().Seconds())
+	}
 	return row
 }
 
@@ -96,6 +109,16 @@ func (r AblationControlResult) Table() *trace.Table {
 		t.Addf(row.Policy, row.JCT, row.Decreases, row.CapStdDev, row.FioIOPS, row.PeakIowait)
 	}
 	return t
+}
+
+// ScorecardTable renders the per-policy detection scorecards (empty
+// unless the run had SetScorecards enabled).
+func (r AblationControlResult) ScorecardTable() *trace.Table {
+	var cards []*obs.Scorecard
+	for _, row := range r.Rows {
+		cards = append(cards, row.Score)
+	}
+	return scorecardTable("Ablation D3 scorecards: cap decisions vs ground truth", cards)
 }
 
 // Row returns the named policy's row.

@@ -205,6 +205,9 @@ type MixOutcome struct {
 	// Phases aggregates per-attempt phase attribution for the run; zero
 	// unless a trace directory is set (SetTraceDir).
 	Phases trace.PhaseTotals
+	// Score grades the run's cap decisions against ground truth; nil
+	// unless scorecards are enabled (SetScorecards).
+	Score *obs.Scorecard
 }
 
 // runMix executes the mix under one scheme, optionally with antagonists.
@@ -214,8 +217,9 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 		pc = ControllerConfig()
 	}
 	tr := newRunTracer()
+	scoring := scorecardsOn()
 	var col *obs.Collector
-	if tr != nil && pc != nil {
+	if pc != nil && (tr != nil || scoring) {
 		col = obs.NewCollector()
 		pc.Events = col
 	}
@@ -280,6 +284,9 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 		acc.TotalSeconds += a.TotalSeconds
 	}
 	out.Efficiency = acc.Efficiency()
+	if scoring && withAntagonists {
+		out.Score = scoreRun(tb, col, sch.Name, now)
+	}
 	if tr != nil {
 		out.Phases = tr.Totals()
 		name := "fig11-" + sch.Name
@@ -393,6 +400,9 @@ type Fig11Row struct {
 	// Phases carries the run's phase-attribution totals (only on the
 	// "all" row, and only when a trace directory is set).
 	Phases trace.PhaseTotals
+	// Score is the scheme's detection scorecard (only on the "all" row,
+	// and only when scorecards are enabled via SetScorecards).
+	Score *obs.Scorecard
 }
 
 // Fig11Result reproduces Figure 11: the per-framework job-performance
@@ -468,6 +478,21 @@ func Fig11With(cfg LargeScaleConfig, schemes []Scheme) Fig11Result {
 			if fw == "all" {
 				row.Efficiency = out.Efficiency
 				row.Phases = out.Phases
+				if out.Score != nil {
+					sc := *out.Score
+					// JCT recovery: total interference-free JCT over
+					// this scheme's total — 1.0 means the scheme fully
+					// recovered the baseline completion times.
+					var sumBase, sumScheme float64
+					for i, jct := range out.JCTs {
+						sumBase += baseline.JCTs[i]
+						sumScheme += jct
+					}
+					if sumScheme > 0 {
+						sc.JCTRecovery = sumBase / sumScheme
+					}
+					row.Score = &sc
+				}
 			}
 			res.Rows = append(res.Rows, *row)
 		}
@@ -500,6 +525,18 @@ func (r Fig11Result) Table() *trace.Table {
 		}
 	}
 	return t
+}
+
+// ScorecardTable renders the per-scheme detection scorecards (empty
+// unless the run had SetScorecards enabled).
+func (r Fig11Result) ScorecardTable() *trace.Table {
+	var cards []*obs.Scorecard
+	for _, row := range r.Rows {
+		if row.Framework == "all" {
+			cards = append(cards, row.Score)
+		}
+	}
+	return scorecardTable("Fig 11 scorecards: cap decisions vs ground truth", cards)
 }
 
 // Row returns the named scheme's aggregate ("all") row.

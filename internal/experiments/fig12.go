@@ -49,6 +49,9 @@ type Fig12Row struct {
 	// Phases sums per-attempt phase attribution across the row's
 	// repetitions; zero unless a trace directory is set (SetTraceDir).
 	Phases trace.PhaseTotals
+	// Score merges the repetitions' detection scorecards; nil unless
+	// scorecards are enabled (SetScorecards).
+	Score *obs.Scorecard
 }
 
 // Fig12Result reproduces Figure 12: JCT variability across repeated runs
@@ -77,13 +80,16 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	base := make([]float64, len(workloads))
 	jcts := make([][][]float64, len(workloads))
 	phases := make([][][]trace.PhaseTotals, len(workloads))
+	scores := make([][][]*obs.Scorecard, len(workloads))
 	for wi := range workloads {
 		jobs = append(jobs, job{wi: wi, si: -1})
 		jcts[wi] = make([][]float64, len(schemes))
 		phases[wi] = make([][]trace.PhaseTotals, len(schemes))
+		scores[wi] = make([][]*obs.Scorecard, len(schemes))
 		for si := range schemes {
 			jcts[wi][si] = make([]float64, cfg.Runs)
 			phases[wi][si] = make([]trace.PhaseTotals, cfg.Runs)
+			scores[wi][si] = make([]*obs.Scorecard, cfg.Runs)
 			for run := 0; run < cfg.Runs; run++ {
 				jobs = append(jobs, job{wi: wi, si: si, run: run})
 			}
@@ -92,11 +98,11 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	forEachRun(len(jobs), func(k int) {
 		j := jobs[k]
 		if j.si < 0 {
-			base[j.wi], _ = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false,
+			base[j.wi], _, _ = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false,
 				fmt.Sprintf("fig12-%s-baseline", workloads[j.wi]))
 			return
 		}
-		jcts[j.wi][j.si][j.run], phases[j.wi][j.si][j.run] = fig12Run(
+		jcts[j.wi][j.si][j.run], phases[j.wi][j.si][j.run], scores[j.wi][j.si][j.run] = fig12Run(
 			cfg, cfg.Seed+int64(j.run)*997, workloads[j.wi], schemes[j.si], true,
 			fmt.Sprintf("fig12-%s-%s-run%02d", workloads[j.wi], schemes[j.si].Name, j.run))
 	})
@@ -105,31 +111,52 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 		for si, sch := range schemes {
 			var norm []float64
 			var pt trace.PhaseTotals
+			var merged *obs.Scorecard
 			for run, jct := range jcts[wi][si] {
 				norm = append(norm, jct/base[wi])
 				pt.Add(phases[wi][si][run])
+				if sc := scores[wi][si][run]; sc != nil {
+					if merged == nil {
+						cp := *sc
+						merged = &cp
+					} else {
+						merged.Merge(*sc)
+					}
+				}
+			}
+			summary := stats.Summarize(norm)
+			if merged != nil {
+				merged.Scheme = workload + "/" + sch.Name
+				// The mean normalized JCT is Σ(jct/base)/runs, so its
+				// reciprocal is the row's aggregate JCT recovery.
+				if summary.Mean > 0 {
+					merged.JCTRecovery = 1 / summary.Mean
+				}
 			}
 			res.Rows = append(res.Rows, Fig12Row{
 				Workload: workload,
 				Scheme:   sch.Name,
-				Summary:  stats.Summarize(norm),
+				Summary:  summary,
 				Phases:   pt,
+				Score:    merged,
 			})
 		}
 	}
 	return res
 }
 
-// fig12Run executes one repetition, returning the logical JCT and the
-// repetition's phase totals (zero when tracing is off).
-func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool, traceName string) (float64, trace.PhaseTotals) {
+// fig12Run executes one repetition, returning the logical JCT, the
+// repetition's phase totals (zero when tracing is off) and its
+// detection scorecard (nil when scorecards are off).
+func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool, traceName string) (float64, trace.PhaseTotals, *obs.Scorecard) {
 	var pc *core.Config
 	if sch.PerfCloud {
 		pc = ControllerConfig()
 	}
 	tr := newRunTracer()
+	scoring := scorecardsOn()
 	var col *obs.Collector
-	if tr != nil && pc != nil {
+	if pc != nil && (tr != nil || scoring) {
 		col = obs.NewCollector()
 		pc.Events = col
 	}
@@ -165,7 +192,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		}
 		return a
 	}
-	finish := func(jct float64) (float64, trace.PhaseTotals) {
+	finish := func(jct float64) (float64, trace.PhaseTotals, *obs.Scorecard) {
 		var pt trace.PhaseTotals
 		if tr != nil {
 			pt = tr.Totals()
@@ -175,7 +202,11 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 			}
 			writeRunTrace(traceName, tr, events)
 		}
-		return jct, pt
+		var sc *obs.Scorecard
+		if scoring && antagonists {
+			sc = scoreRun(tb, col, sch.Name, tb.Eng.Clock().Seconds())
+		}
+		return jct, pt, sc
 	}
 	if sch.Clones <= 1 {
 		c := submit()
@@ -204,6 +235,16 @@ func (r Fig12Result) Table() *trace.Table {
 		t.Addf(row.Workload, row.Scheme, s.Median, s.Q1, s.Q3, s.IQR(), s.Min, s.Max)
 	}
 	return t
+}
+
+// ScorecardTable renders the merged per-row detection scorecards (empty
+// unless the run had SetScorecards enabled).
+func (r Fig12Result) ScorecardTable() *trace.Table {
+	var cards []*obs.Scorecard
+	for _, row := range r.Rows {
+		cards = append(cards, row.Score)
+	}
+	return scorecardTable("Fig 12 scorecards: cap decisions vs ground truth (merged over repetitions)", cards)
 }
 
 // Row returns the named (workload, scheme) row.

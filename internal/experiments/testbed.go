@@ -17,6 +17,7 @@ import (
 	"perfcloud/internal/dfs"
 	"perfcloud/internal/exec"
 	"perfcloud/internal/mapreduce"
+	"perfcloud/internal/obs"
 	"perfcloud/internal/sim"
 	"perfcloud/internal/spark"
 	"perfcloud/internal/straggler"
@@ -64,6 +65,12 @@ type Testbed struct {
 
 	Benchmarks map[string]*workloads.Benchmark
 	nAnt       int
+
+	// Truth records every benchmark VM booted through AddAntagonist —
+	// identity, burst schedule and harm channel — so detection-quality
+	// scorecards can grade the control plane's cap decisions against
+	// what the simulator knows to be true.
+	Truth *obs.GroundTruth
 }
 
 // NewTestbed builds and wires a testbed: worker VMs are spread evenly
@@ -83,7 +90,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if cfg.SlotsPerWorker == 0 {
 		cfg.SlotsPerWorker = 2
 	}
-	tb := &Testbed{Cfg: cfg, Benchmarks: make(map[string]*workloads.Benchmark)}
+	tb := &Testbed{Cfg: cfg, Benchmarks: make(map[string]*workloads.Benchmark), Truth: obs.NewGroundTruth()}
 	tb.Eng = sim.NewEngine(cfg.Tick, cfg.Seed)
 	tb.Clus = cluster.New()
 	tb.CM = cloud.NewManager(tb.Clus, tb.Eng.RNG())
@@ -238,6 +245,15 @@ func (tb *Testbed) AddAntagonist(server int, w *workloads.Benchmark) *cluster.VM
 	}
 	vm.SetWorkload(w)
 	tb.Benchmarks[name] = w
+	p := w.Pattern()
+	tb.Truth.Add(obs.TruthVM{
+		VM:       name,
+		Server:   fmt.Sprintf("server-%d", server),
+		Channel:  w.HarmChannel(),
+		StartSec: p.StartOffset.Seconds(),
+		OnSec:    p.On.Seconds(),
+		OffSec:   p.Off.Seconds(),
+	})
 	return vm
 }
 

@@ -64,7 +64,9 @@ type FastPathSnapshot struct {
 	HorizonRecomputes uint64 `json:"horizon_recomputes"`
 	// ShardSkips counts whole shards skipped by the sharded tick path —
 	// one per tick per shard whose every server sat in the inactive set.
-	ShardSkips uint64 `json:"shard_skips,omitempty"`
+	// Always encoded (no omitempty): /debug/fastpaths consumers pin the
+	// field name and a zero is itself informative (sharding inactive).
+	ShardSkips uint64 `json:"shard_skips"`
 	// Per-resource allocator input-memo accounting.
 	CPUMemoHits    uint64 `json:"cpu_memo_hits"`
 	CPUMemoMisses  uint64 `json:"cpu_memo_misses"`

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -94,6 +95,101 @@ func TestMultiSink(t *testing.T) {
 	if a.Total() != 1 || b.Total() != 1 {
 		t.Fatalf("multisink did not fan out: %d, %d", a.Total(), b.Total())
 	}
+}
+
+// failWriter errors on every write — used to wedge a JSONLSink mid-chain.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errors.New("disk full")
+}
+
+// TestMultiSinkPartialFailureOrdering checks that one failing sink in
+// the middle of a MultiSink neither stops the fan-out nor reorders it:
+// every later sink still receives the full stream in emission order,
+// and the failing sink reports its sticky error without panicking.
+func TestMultiSinkPartialFailureOrdering(t *testing.T) {
+	before := NewCollector()
+	// A JSONLSink over a tiny buffer so the first flushed write fails;
+	// its error must stay contained to Flush.
+	broken := NewJSONLSink(failWriter{})
+	after := NewCollector()
+	m := MultiSink{before, broken, after}
+
+	events := sampleEvents()
+	for _, e := range events {
+		m.Emit(e)
+	}
+	for _, c := range []*Collector{before, after} {
+		got := c.Events()
+		if !reflect.DeepEqual(got, events) {
+			t.Fatalf("sink around the failing one saw %v, want %v in order", got, events)
+		}
+	}
+	if err := broken.Flush(); err == nil {
+		t.Fatal("failing sink reported no error from Flush")
+	}
+	// The error is sticky: further emits are dropped silently, and the
+	// sinks around it keep receiving.
+	m.Emit(Event{T: 999, Type: EventSample})
+	if got := len(after.Events()); got != len(events)+1 {
+		t.Fatalf("later sink saw %d events after failure, want %d", got, len(events)+1)
+	}
+}
+
+// TestRingWraparound pins the boundary behaviour the happy-path TestRing
+// skips: capacity 1, exactly-full (no wrap yet), and multiple complete
+// wraps all report the newest events oldest-first with exact totals.
+func TestRingWraparound(t *testing.T) {
+	emitN := func(r *Ring, n int) {
+		for i := 1; i <= n; i++ {
+			r.Emit(Event{T: float64(i)})
+		}
+	}
+	check := func(t *testing.T, r *Ring, wantT []float64, wantTotal uint64) {
+		t.Helper()
+		got := r.Events()
+		if len(got) != len(wantT) {
+			t.Fatalf("retained %d events, want %d", len(got), len(wantT))
+		}
+		for i, e := range got {
+			if e.T != wantT[i] {
+				t.Fatalf("event %d has T=%v, want %v", i, e.T, wantT[i])
+			}
+		}
+		if r.Total() != wantTotal {
+			t.Fatalf("total = %d, want %d", r.Total(), wantTotal)
+		}
+	}
+
+	t.Run("capacity one", func(t *testing.T) {
+		r := NewRing(1)
+		emitN(r, 7)
+		check(t, r, []float64{7}, 7)
+	})
+	t.Run("exactly full", func(t *testing.T) {
+		r := NewRing(4)
+		emitN(r, 4)
+		check(t, r, []float64{1, 2, 3, 4}, 4)
+	})
+	t.Run("one past full", func(t *testing.T) {
+		r := NewRing(4)
+		emitN(r, 5)
+		check(t, r, []float64{2, 3, 4, 5}, 5)
+	})
+	t.Run("multiple wraps", func(t *testing.T) {
+		r := NewRing(3)
+		emitN(r, 11)
+		check(t, r, []float64{9, 10, 11}, 11)
+	})
+	t.Run("invalid size", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewRing(0) did not panic")
+			}
+		}()
+		NewRing(0)
+	})
 }
 
 // TestFastPathSnapshotSub checks Sub is Add's exact inverse over every

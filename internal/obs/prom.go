@@ -9,6 +9,12 @@ import (
 	"strings"
 )
 
+// ContentType is the HTTP Content-Type for the Prometheus text
+// exposition format WritePrometheus emits. Scrapers content-negotiate on
+// the version parameter; handlers serving WritePrometheus output should
+// set exactly this value.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // WritePrometheus renders every registered family in the Prometheus
 // text exposition format (version 0.0.4): a # HELP and # TYPE line per
 // family followed by its series, families sorted by name and series by

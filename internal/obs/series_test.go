@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeriesRingRetention(t *testing.T) {
+	s := NewSeries(3)
+	if got := s.Points(); len(got) != 0 {
+		t.Fatalf("empty series returned %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		s.Append(float64(i*10), float64(i))
+	}
+	got := s.Points()
+	if len(got) != 3 {
+		t.Fatalf("retained %d points, want 3", len(got))
+	}
+	for i, p := range got {
+		if want := float64(i + 3); p.V != want || p.T != want*10 {
+			t.Fatalf("point %d = %+v, want T=%v V=%v", i, p, want*10, want)
+		}
+	}
+	if s.Total() != 5 || s.Len() != 3 {
+		t.Fatalf("total/len = %d/%d, want 5/3", s.Total(), s.Len())
+	}
+}
+
+func TestSeriesNilSafe(t *testing.T) {
+	var s *Series
+	s.Append(1, 2) // must not panic
+	if s.Points() != nil || s.Len() != 0 || s.Total() != 0 || len(s.Since(0)) != 0 {
+		t.Fatal("nil series not empty")
+	}
+}
+
+func TestSeriesMonotoneTimestamps(t *testing.T) {
+	s := NewSeries(4)
+	s.Append(10, 1)
+	s.Append(10, 2) // equal is fine — distinct servers, same interval
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing timestamp did not panic")
+		}
+	}()
+	s.Append(9, 3)
+}
+
+func TestSeriesSince(t *testing.T) {
+	s := NewSeries(8)
+	for _, ti := range []float64{10, 20, 30, 40} {
+		s.Append(ti, ti)
+	}
+	if got := s.Since(0); len(got) != 4 {
+		t.Fatalf("Since(0) returned %d points, want 4", len(got))
+	}
+	got := s.Since(20)
+	if len(got) != 2 || got[0].T != 30 || got[1].T != 40 {
+		t.Fatalf("Since(20) = %v, want [30 40]", got)
+	}
+	if got := s.Since(40); len(got) != 0 {
+		t.Fatalf("Since(40) = %v, want empty (strictly after)", got)
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	s := NewSeries(100)
+	for i := 0; i < 100; i++ {
+		v := float64(i % 10)
+		if i == 37 {
+			v = 99 // a spike the downsample must preserve
+		}
+		s.Append(float64(i), v)
+	}
+	got := s.Downsample(4)
+	if len(got) != 4 {
+		t.Fatalf("downsampled to %d points, want 4", len(got))
+	}
+	spike := false
+	for i, p := range got {
+		if i > 0 && p.T <= got[i-1].T {
+			t.Fatalf("downsampled timestamps not increasing: %v", got)
+		}
+		if p.V == 99 {
+			spike = true
+		}
+	}
+	if !spike {
+		t.Fatalf("max-downsample lost the spike: %v", got)
+	}
+	// No-op cases.
+	if got := s.Downsample(0); len(got) != 100 {
+		t.Fatalf("Downsample(0) dropped points: %d", len(got))
+	}
+	if got := s.Downsample(1000); len(got) != 100 {
+		t.Fatalf("Downsample(n>len) changed points: %d", len(got))
+	}
+}
+
+func TestSeriesRegistry(t *testing.T) {
+	r := NewSeriesRegistry(4)
+	a := r.Series("dev_iowait")
+	b := r.Series("dev_iowait", Label{Key: "zone", Value: "zone-0"})
+	if a == b {
+		t.Fatal("label sets did not produce distinct series")
+	}
+	if again := r.Series("dev_iowait"); again != a {
+		t.Fatal("registry did not return the same series for the same key")
+	}
+	a.Append(1, 10)
+	b.Append(1, 20)
+	keys := r.Keys()
+	want := []string{"dev_iowait", `dev_iowait{zone="zone-0"}`}
+	if len(keys) != 2 || keys[0] != want[0] || keys[1] != want[1] {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+
+	var nilReg *SeriesRegistry
+	if nilReg.Series("x") != nil || nilReg.Keys() != nil {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+func TestSeriesRegistryWriteJSON(t *testing.T) {
+	r := NewSeriesRegistry(8)
+	s := r.Series("fleet_active_servers")
+	for _, ti := range []float64{10, 20, 30} {
+		s.Append(ti, ti/10)
+	}
+	render := func(since float64, max int) string {
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b, since, max); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	full := render(0, 0)
+	if full != render(0, 0) {
+		t.Fatal("WriteJSON not deterministic")
+	}
+	var out struct {
+		Series []struct {
+			Series string        `json:"series"`
+			Total  uint64        `json:"total"`
+			Points []SeriesPoint `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(full), &out); err != nil {
+		t.Fatalf("WriteJSON output invalid: %v\n%s", err, full)
+	}
+	if len(out.Series) != 1 || out.Series[0].Total != 3 || len(out.Series[0].Points) != 3 {
+		t.Fatalf("unexpected payload: %s", full)
+	}
+	// Delta scrape: only points strictly after since.
+	if err := json.Unmarshal([]byte(render(20, 0)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series[0].Points) != 1 || out.Series[0].Points[0].T != 30 {
+		t.Fatalf("since=20 scrape returned %+v", out.Series[0].Points)
+	}
+	// maxPoints caps the per-series payload.
+	if err := json.Unmarshal([]byte(render(0, 2)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series[0].Points) > 2 {
+		t.Fatalf("maxPoints=2 returned %d points", len(out.Series[0].Points))
+	}
+}
+
+func TestRollupHierarchy(t *testing.T) {
+	r := NewSeriesRegistry(16)
+	locate := func(server string) (string, string, bool) {
+		switch server {
+		case "s0", "s1":
+			return "0", "zone-0", true
+		case "s2":
+			return "1", "zone-1", true
+		}
+		return "", "", false
+	}
+	ru := NewRollup(r, "dev_iowait", locate, MaxFold)
+	// Same interval (t=10), three servers: max must win at each level.
+	ru.Observe("s0", 10, 1)
+	ru.Observe("s1", 10, 5)
+	ru.Observe("s2", 10, 3)
+	ru.Observe("unknown", 10, 9) // unlocatable: cluster only
+	ru.Observe("s0", 20, 2)
+
+	get := func(key string) []SeriesPoint {
+		switch key {
+		case "cluster":
+			return r.Series("dev_iowait").Points()
+		case "shard0":
+			return r.Series("dev_iowait", Label{Key: "shard", Value: "0"}).Points()
+		case "zone0":
+			return r.Series("dev_iowait", Label{Key: "zone", Value: "zone-0"}).Points()
+		case "zone1":
+			return r.Series("dev_iowait", Label{Key: "zone", Value: "zone-1"}).Points()
+		}
+		return nil
+	}
+	cl := get("cluster")
+	if len(cl) != 2 || cl[0] != (SeriesPoint{T: 10, V: 9}) || cl[1] != (SeriesPoint{T: 20, V: 2}) {
+		t.Fatalf("cluster series = %v", cl)
+	}
+	if sh := get("shard0"); len(sh) != 2 || sh[0].V != 5 {
+		t.Fatalf("shard 0 series = %v", sh)
+	}
+	if z := get("zone0"); len(z) != 2 || z[0].V != 5 || z[1].V != 2 {
+		t.Fatalf("zone-0 series = %v", z)
+	}
+	if z := get("zone1"); len(z) != 1 || z[0].V != 3 {
+		t.Fatalf("zone-1 series = %v", z)
+	}
+	// Cardinality is levels, not servers: cluster + 2 shards + 2 zones.
+	if got := len(r.Keys()); got != 5 {
+		t.Fatalf("rollup created %d series, want 5: %v", got, r.Keys())
+	}
+
+	var nilRu *Rollup
+	nilRu.Observe("s0", 1, 1) // must not panic
+}
+
+func TestRollupSink(t *testing.T) {
+	r := NewSeriesRegistry(8)
+	sink := NewRollupSink(r, func(string) (string, string, bool) { return "0", "zone-0", true })
+	sink.Emit(Event{T: 10, Type: EventSample, Server: "s0", IowaitDev: 4, CPIDev: 0.5})
+	sink.Emit(Event{T: 10, Type: EventCap, Server: "s0", VM: "fio"}) // ignored
+	io := r.Series("dev_iowait").Points()
+	cpu := r.Series("dev_cpi").Points()
+	if len(io) != 1 || io[0].V != 4 || len(cpu) != 1 || cpu[0].V != 0.5 {
+		t.Fatalf("rollup sink recorded io=%v cpu=%v", io, cpu)
+	}
+	for _, k := range r.Keys() {
+		if strings.Contains(k, `server=`) {
+			t.Fatalf("rollup sink created a per-server series: %v", r.Keys())
+		}
+	}
+}

@@ -70,6 +70,7 @@ type Benchmark struct {
 	profile Profile
 	pattern BurstPattern
 	limits  Limits
+	harm    string // resource channel this benchmark genuinely pressures
 
 	elapsed    time.Duration // simulated wall time observed via Advance
 	activeSecs float64       // seconds spent in "on" phases
@@ -119,6 +120,21 @@ func (w *Benchmark) SetLimits(l Limits) {
 
 // DemandEpoch implements cluster.DemandEpocher.
 func (w *Benchmark) DemandEpoch() uint64 { return w.epoch }
+
+// Pattern returns the benchmark's burst schedule — the testbed's
+// ground-truth registry records it so detection scorecards can compute
+// when an antagonist was genuinely active.
+func (w *Benchmark) Pattern() BurstPattern { return w.pattern }
+
+// HarmChannel names the resource channel the benchmark saturates when
+// active — "io" (fio), "cpu" (STREAM's bandwidth pressure surfaces as
+// CPI inflation) or "" for decoys that never harm colocated tenants.
+// It is ground truth for scoring, invisible to the detector itself.
+func (w *Benchmark) HarmChannel() string { return w.harm }
+
+// SetHarmChannel tags a custom benchmark as a genuine antagonist on the
+// given channel; the stock constructors tag themselves.
+func (w *Benchmark) SetHarmChannel(ch string) { w.harm = ch }
 
 // Active reports whether the benchmark is currently in an "on" phase.
 func (w *Benchmark) Active() bool { return w.pattern.active(w.elapsed) && !w.Done() }
@@ -212,7 +228,7 @@ func (w *Benchmark) Elapsed() time.Duration { return w.elapsed }
 // capacity (10k IOPS) its 8k IOPS demand makes any colocated I/O-bound
 // application contend heavily, reproducing Fig. 1's degradations.
 func NewFioRandRead(pattern BurstPattern) *Benchmark {
-	return NewBenchmark("fio-randread", Profile{
+	b := NewBenchmark("fio-randread", Profile{
 		CPUCores:        0.4,
 		IOPS:            8000,
 		OpBytes:         4096,
@@ -221,6 +237,8 @@ func NewFioRandRead(pattern BurstPattern) *Benchmark {
 		BytesPerInstr:   0.05,
 		WorkingSetBytes: 4 << 20,
 	}, pattern, Limits{})
+	b.harm = "io"
+	return b
 }
 
 // NewStream builds the STREAM memory-bandwidth stressor: the paper runs
@@ -230,7 +248,7 @@ func NewFioRandRead(pattern BurstPattern) *Benchmark {
 // oversubscribe the default 60 GB/s host (the paper's "group of
 // antagonists that individually do not have much effect", §III-B).
 func NewStream(pattern BurstPattern) *Benchmark {
-	return NewBenchmark("stream", Profile{
+	b := NewBenchmark("stream", Profile{
 		CPUCores:        8, // 8 threads; the VM's vcpus clamp applies
 		IOPS:            0,
 		CoreCPI:         0.7,
@@ -238,6 +256,8 @@ func NewStream(pattern BurstPattern) *Benchmark {
 		BytesPerInstr:   8,
 		WorkingSetBytes: 16 << 30,
 	}, pattern, Limits{})
+	b.harm = "cpu"
+	return b
 }
 
 // NewStreamWithWork is NewStream with a finite amount of memory traffic to
