@@ -12,13 +12,15 @@ test:
 # race runs the detector over the packages with concurrent code paths:
 # the parallel tick fan-out, the experiment run pool, the primitive they
 # share, the control plane whose instruments are updated from ticking
-# goroutines, the observability package, and the data plane (executors,
+# goroutines, the observability package (whose health timers are bumped
+# from ticking goroutines while HTTP handlers snapshot them), the
+# daemon that serves those handlers, and the data plane (executors,
 # frameworks, speculators) that parallel experiment repetitions drive.
 race:
 	go test -race ./internal/cluster/... ./internal/sim/... \
 		./internal/experiments/... ./internal/core/... ./internal/obs/... \
 		./internal/exec/... ./internal/mapreduce/... ./internal/spark/... \
-		./internal/straggler/...
+		./internal/straggler/... ./cmd/perfcloudd/...
 
 # check is the full local gate: vet, build, tests, and the race tier.
 # Benchmarks are tracked separately — run `make bench` to measure the

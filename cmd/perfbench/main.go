@@ -7,7 +7,16 @@
 //
 //	perfbench [-fig all|1|2|3|4|5|6|7|9|10|11|12] [-seed N] [-quick] [-csv] [-parallel N]
 //	          [-suite] [-suitejson FILE] [-cpuprofile FILE] [-memprofile FILE] [-fastpaths]
-//	          [-tracedir DIR] [-shards N] [-scorecard]
+//	          [-tracedir DIR] [-shards N] [-scorecard] [-alerts] [-health]
+//
+// -alerts installs the default alert rule pack for every PerfCloud run
+// (sustained victim deviation, cap dwell, false-cap watchdog, monitor
+// overrun) and appends per-scheme alert tables after Figs 11 and 12;
+// like scorecards, alerting is a pure observer and deterministic per
+// seed. -health profiles the engine itself — sampled wall-clock phase
+// timers, shared-pool contention, runtime/metrics — and prints the
+// report on exit; health numbers are wall-clock and intentionally NOT
+// deterministic.
 //
 // -scorecard grades every scheme's cap decisions against the testbed's
 // ground-truth antagonist registry and appends a detection scorecard
@@ -52,6 +61,8 @@ import (
 	"perfcloud/internal/benchfmt"
 	"perfcloud/internal/cluster"
 	"perfcloud/internal/experiments"
+	"perfcloud/internal/obs"
+	"perfcloud/internal/sim"
 	"perfcloud/internal/stats"
 	"perfcloud/internal/trace"
 )
@@ -80,6 +91,8 @@ func main() {
 	scorecard := flag.Bool("scorecard", false, "grade each scheme's cap decisions against ground truth and print detection scorecards (Figs 11, 12, control ablation)")
 	tracedir := flag.String("tracedir", "", "directory to write per-repetition Perfetto traces (Figs 11, 12)")
 	shards := flag.Int("shards", 0, "cluster tick shards: 0 auto, n forced, -1 flat pre-shard path")
+	alerts := flag.Bool("alerts", false, "evaluate the default alert rules during PerfCloud runs and append alert tables (Figs 11, 12)")
+	health := flag.Bool("health", false, "profile the engine itself (sampled phase timers, pool contention, runtime stats) and print the report")
 	flag.Parse()
 	cluster.SetDefaultTickWorkers(*parallel)
 	cluster.SetDefaultShards(*shards)
@@ -96,6 +109,26 @@ func main() {
 	}
 	if *scorecard {
 		experiments.SetScorecards(true)
+	}
+	if *alerts {
+		// The signal-only default pack: every rule reads the audit-event
+		// stream, so one pack serves every testbed the suite builds.
+		experiments.SetAlertRules(obs.DefaultRules(obs.DefaultRulesConfig{}))
+	}
+	var hl *obs.Health
+	if *health {
+		// Engine self-profiling: wall-clock phase timers on every testbed
+		// plus slot-pool contention and runtime/metrics, reported on exit.
+		// Explicitly non-deterministic; result tables are unaffected.
+		hl = obs.NewHealth(obs.NewRegistry())
+		hl.SetPoolStats(func() obs.PoolHealth {
+			s := sim.SharedPool().Stats()
+			return obs.PoolHealth{
+				Capacity: s.Capacity, InUse: s.InUse, Peak: s.Peak,
+				TryAcquires: s.TryAcquires, Denied: s.Denied, GrantedSlots: s.GrantedSlots,
+			}
+		})
+		experiments.SetHealth(hl)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -244,6 +277,9 @@ func main() {
 			if *scorecard {
 				emit(r.ScorecardTable())
 			}
+			if *alerts {
+				emit(r.AlertTable())
+			}
 		})
 	}
 	if want("12") {
@@ -263,6 +299,9 @@ func main() {
 			emit(r.Table())
 			if *scorecard {
 				emit(r.ScorecardTable())
+			}
+			if *alerts {
+				emit(r.AlertTable())
 			}
 		})
 	}
@@ -298,6 +337,10 @@ func main() {
 	}
 	if *fastpaths {
 		printFastPaths(os.Stderr)
+	}
+	if hl != nil {
+		hl.SampleRuntime()
+		fmt.Fprint(os.Stderr, "health:\n"+hl.Summary())
 	}
 	fmt.Fprintf(os.Stderr, "perfbench: done in %v\n", elapsed.Round(time.Millisecond))
 }

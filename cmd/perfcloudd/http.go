@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 
@@ -13,19 +15,29 @@ import (
 // state over HTTP: Prometheus text on /metrics, the decision audit
 // log's retained tail on /debug/events, the simulation's fast-path
 // accounting on /debug/fastpaths, the daemon's time series on
-// /debug/series and the latest detection scorecard on /debug/score.
-// All endpoints are safe to serve while the simulation is stepping:
-// the registries and ring are internally synchronized, and the
-// fast-path snapshot and scorecard are replaced under mu by the run
-// loop's hooks rather than read live from the cluster.
+// /debug/series, the latest detection scorecard on /debug/score, the
+// alert engine's rule statuses on /debug/alerts and the wall-clock
+// self-profiling snapshot on /debug/health. All endpoints are safe to
+// serve while the simulation is stepping: the registries and ring are
+// internally synchronized, and the fast-path snapshot, scorecard and
+// alert statuses are replaced under mu by the run loop's hooks rather
+// than read live from the cluster.
 type daemonServer struct {
 	reg    *obs.Registry
 	ring   *obs.Ring
 	series *obs.SeriesRegistry
+	health *obs.Health
 
-	mu    sync.Mutex
-	fast  obs.FastPathSnapshot
-	score *obs.Scorecard
+	mu     sync.Mutex
+	fast   obs.FastPathSnapshot
+	score  *obs.Scorecard
+	alerts *alertState
+}
+
+// alertState is the /debug/alerts payload, swapped whole by setAlerts.
+type alertState struct {
+	Summary  obs.AlertSummary  `json:"summary"`
+	Statuses []obs.AlertStatus `json:"statuses"`
 }
 
 func newDaemonServer(reg *obs.Registry, ring *obs.Ring, series *obs.SeriesRegistry) *daemonServer {
@@ -46,14 +58,57 @@ func (s *daemonServer) setScore(sc obs.Scorecard) {
 	s.mu.Unlock()
 }
 
+// setAlerts is the runConfig.OnAlerts hook.
+func (s *daemonServer) setAlerts(sts []obs.AlertStatus, sum obs.AlertSummary) {
+	s.mu.Lock()
+	s.alerts = &alertState{Summary: sum, Statuses: sts}
+	s.mu.Unlock()
+}
+
+// endpoints lists every registered path, in registration order; the
+// index handler renders it so the daemon is explorable from "/".
+var endpoints = []struct{ path, doc string }{
+	{"/metrics", "Prometheus text exposition of all registered instruments"},
+	{"/debug/events", "retained tail of the decision audit log (JSON)"},
+	{"/debug/fastpaths", "cumulative simulation fast-path counters (JSON)"},
+	{"/debug/series", "daemon time series; ?since=<simSec> delta scrape, ?max=N downsample"},
+	{"/debug/score", "detection scorecard vs ground truth (404 until the run ends)"},
+	{"/debug/alerts", "alert rule statuses and summary (404 until rules evaluate)"},
+	{"/debug/health", "wall-clock engine self-profiling snapshot (JSON)"},
+	{"/debug/pprof/", "Go runtime profiles (heap, goroutine, CPU via ?seconds=N)"},
+}
+
 func (s *daemonServer) handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.serveIndex)
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/debug/events", s.serveEvents)
 	mux.HandleFunc("/debug/fastpaths", s.serveFastPaths)
 	mux.HandleFunc("/debug/series", s.serveSeries)
 	mux.HandleFunc("/debug/score", s.serveScore)
+	mux.HandleFunc("/debug/alerts", s.serveAlerts)
+	mux.HandleFunc("/debug/health", s.serveHealth)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveIndex lists the registered endpoints. The "/" pattern matches
+// every otherwise-unhandled path, so anything but the root itself is an
+// explicit 404 rather than a silent index.
+func (s *daemonServer) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "perfcloudd endpoints:")
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "  %-18s %s\n", e.path, e.doc)
+	}
 }
 
 func (s *daemonServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -121,4 +176,32 @@ func (s *daemonServer) serveScore(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(sc)
+}
+
+// serveAlerts returns the alert engine's latest rule statuses and
+// summary, or 404 until the first evaluation (or when -alerts is off).
+func (s *daemonServer) serveAlerts(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	a := s.alerts
+	s.mu.Unlock()
+	if a == nil {
+		http.Error(w, "no alerts yet: rules not evaluated (is -alerts on?)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(a)
+}
+
+// serveHealth returns the wall-clock self-profiling snapshot: phase
+// timers, pool contention, shard imbalance and the runtime bridge.
+func (s *daemonServer) serveHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.health == nil {
+		http.Error(w, "health layer not attached", http.StatusNotFound)
+		return
+	}
+	s.health.SampleRuntime()
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.health.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

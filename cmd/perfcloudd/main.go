@@ -5,13 +5,18 @@
 // interval — detections, identified antagonists and the caps applied.
 //
 // With -http the daemon also exposes its control-plane observability:
-// a Prometheus /metrics endpoint, the typed decision audit log on
-// /debug/events, the simulation's fast-path accounting on
-// /debug/fastpaths, the daemon's time series on /debug/series
-// (?since=<simSeconds> for delta scrapes, ?max=N to downsample) and,
-// once the run finishes, the detection scorecard — cap decisions graded
-// against the testbed's ground-truth antagonist registry — on
-// /debug/score. -events appends the full audit log as JSONL.
+// an index of every endpoint on /, a Prometheus /metrics endpoint, the
+// typed decision audit log on /debug/events, the simulation's fast-path
+// accounting on /debug/fastpaths, the daemon's time series on
+// /debug/series (?since=<simSeconds> for delta scrapes, ?max=N to
+// downsample), the wall-clock engine self-profiling snapshot on
+// /debug/health, Go runtime profiles under /debug/pprof/ and, once the
+// run finishes, the detection scorecard — cap decisions graded against
+// the testbed's ground-truth antagonist registry — on /debug/score.
+// -events appends the full audit log as JSONL.
+// -alerts deploys the default deterministic alert rule pack: rules are
+// evaluated on sim time, their lifecycle transitions land in the audit
+// stream as alert events, and live statuses serve on /debug/alerts.
 // -trace records every task attempt with phase attribution and writes a
 // Perfetto/chrome-trace JSON timeline, with the agent's cap/release
 // decisions as instant markers.
@@ -19,7 +24,7 @@
 // Usage:
 //
 //	perfcloudd [-duration 3m] [-seed N] [-http :8080] [-events out.jsonl]
-//	           [-trace out.json]
+//	           [-alerts] [-trace out.json]
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"perfcloud/internal/obs"
+	"perfcloud/internal/sim"
 	"perfcloud/internal/trace"
 )
 
@@ -41,9 +47,13 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics, /debug/events and /debug/fastpaths on this address (e.g. :8080)")
 	eventsPath := flag.String("events", "", "write the decision audit log as JSONL to this file")
 	tracePath := flag.String("trace", "", "write a Perfetto/chrome-trace JSON timeline to this file")
+	alerts := flag.Bool("alerts", false, "evaluate the default alert rules on sim time (statuses on /debug/alerts)")
 	flag.Parse()
 
 	cfg := runConfig{Duration: *duration, Seed: *seed, Log: os.Stdout}
+	if *alerts {
+		cfg.AlertRules = obs.DefaultRules(obs.DefaultRulesConfig{})
+	}
 
 	var sinks obs.MultiSink
 	var jsonl *obs.JSONLSink
@@ -73,13 +83,26 @@ func main() {
 		sinks = append(sinks, srv.ring)
 		cfg.OnInterval = srv.setFastPaths
 		cfg.OnScore = srv.setScore
+		cfg.OnAlerts = srv.setAlerts
+		// Wall-clock self-profiling rides along with the HTTP surface:
+		// phase timers, tick-pool contention and the runtime bridge, all
+		// kept out of the deterministic sim outputs.
+		cfg.Health = obs.NewHealth(cfg.Metrics)
+		cfg.Health.SetPoolStats(func() obs.PoolHealth {
+			st := sim.SharedPool().Stats()
+			return obs.PoolHealth{
+				Capacity: st.Capacity, InUse: st.InUse, Peak: st.Peak,
+				TryAcquires: st.TryAcquires, Denied: st.Denied, GrantedSlots: st.GrantedSlots,
+			}
+		})
+		srv.health = cfg.Health
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "perfcloudd:", err)
 			os.Exit(1)
 		}
 		go http.Serve(ln, srv.handler())
-		fmt.Printf("perfcloudd: serving /metrics, /debug/{events,fastpaths,series,score} on http://%s\n", ln.Addr())
+		fmt.Printf("perfcloudd: serving /metrics, /debug/{events,fastpaths,series,score,alerts,health,pprof} on http://%s\n", ln.Addr())
 	}
 	if len(sinks) > 0 {
 		cfg.Events = sinks

@@ -41,6 +41,19 @@ type runConfig struct {
 	// Tracer, when non-nil, records job/task/attempt spans with phase
 	// attribution for the whole run (-trace exports them as Perfetto).
 	Tracer *tracing.Tracer
+	// AlertRules, when non-empty, deploys the deterministic alert engine:
+	// rules are evaluated on sim time against the run's audit stream and
+	// every lifecycle transition is emitted into Events as an EventAlert.
+	AlertRules []obs.Rule
+	// OnAlerts, when non-nil, is called after every control interval with
+	// the rules' live statuses and running summary — the hook the
+	// /debug/alerts endpoint reads through.
+	OnAlerts func([]obs.AlertStatus, obs.AlertSummary)
+	// Health, when non-nil, attaches the wall-clock self-profiling layer
+	// (cluster/monitor phase timers, shard imbalance, runtime/metrics) —
+	// explicitly non-deterministic, served on /debug/health, never part
+	// of the event stream.
+	Health *obs.Health
 }
 
 // run executes the canonical perfcloudd scenario: one server hosting a
@@ -68,11 +81,21 @@ func run(cfg runConfig) error {
 	ctl := experiments.ControllerConfig()
 	ctl.Metrics = cfg.Metrics
 	ctl.Events = events
+	ctl.Health = cfg.Health
+	var alertEng *obs.AlertEngine
+	if len(cfg.AlertRules) > 0 {
+		// The engine emits into the same composite sink the managers use
+		// (JSONL file, ring, collector); core.Attach wires it to consume
+		// the managers' audit stream and ticks it on sim time.
+		alertEng = obs.NewAlertEngine(cfg.AlertRules, events)
+		ctl.Alerts = alertEng
+	}
 	tb := experiments.NewTestbed(experiments.TestbedConfig{
 		Seed:      cfg.Seed,
 		PerfCloud: ctl,
 		Tracer:    cfg.Tracer,
 	})
+	alertEng.SetGroundTruth(tb.Truth)
 	tb.MustInput("input", 640<<20)
 	tb.AddAntagonist(0, workloads.NewFioRandRead(
 		workloads.BurstPattern{StartOffset: 10 * time.Second, On: 20 * time.Second, Off: 10 * time.Second}))
@@ -145,6 +168,27 @@ func run(cfg runConfig) error {
 		if cfg.OnInterval != nil {
 			cfg.OnInterval(fp)
 		}
+		if alertEng != nil && cfg.OnAlerts != nil {
+			cfg.OnAlerts(alertEng.Statuses(), alertEng.Summary())
+		}
+		if cfg.Health != nil {
+			// Wall-clock self-profiling refresh: shard load imbalance (the
+			// max/mean active-server ratio across tick shards) and the
+			// runtime/metrics bridge. Kept strictly out of the sim outputs.
+			var max, sum float64
+			shards := 0
+			tb.Clus.EachShardStats(func(st cluster.ShardStats) {
+				shards++
+				sum += float64(st.Active)
+				if float64(st.Active) > max {
+					max = float64(st.Active)
+				}
+			})
+			if shards > 0 && sum > 0 {
+				cfg.Health.ObserveShardImbalance(max * float64(shards) / sum)
+			}
+			cfg.Health.SampleRuntime()
+		}
 	}
 
 	// Keep a terasort stream running while the daemon manages the server.
@@ -200,6 +244,12 @@ func run(cfg runConfig) error {
 		}
 	}
 	fmt.Fprintf(cfg.Log, "perfcloudd: shutting down after %v simulated\n", cfg.Duration)
+	if alertEng != nil {
+		fmt.Fprintf(cfg.Log, "perfcloudd: alerts: %s\n", alertEng.Summary())
+		if cfg.OnAlerts != nil {
+			cfg.OnAlerts(alertEng.Statuses(), alertEng.Summary())
+		}
+	}
 	if cfg.OnScore != nil {
 		sc := obs.Score(col.Events(), tb.Truth, tb.Eng.Clock().Seconds())
 		sc.Scheme = "perfcloud"

@@ -89,11 +89,15 @@ func fixtureServer(t *testing.T) *daemonServer {
 		reg := obs.NewRegistry()
 		sr := obs.NewSeriesRegistry(0)
 		srv := newDaemonServer(reg, obs.NewRing(4096), sr)
+		srv.health = obs.NewHealth(reg)
 		daemonFixture.err = run(runConfig{
 			Duration: 3 * time.Minute, Seed: 42,
 			Metrics: reg, Events: srv.ring, Series: sr,
 			OnInterval: srv.setFastPaths,
 			OnScore:    srv.setScore,
+			OnAlerts:   srv.setAlerts,
+			AlertRules: obs.DefaultRules(obs.DefaultRulesConfig{}),
+			Health:     srv.health,
 		})
 		daemonFixture.srv = srv
 	})
@@ -252,6 +256,167 @@ func TestScoreEndpoint(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 404 {
 		t.Fatalf("fresh daemon /debug/score status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIndexEndpoint checks the root index lists every registered
+// endpoint and that unknown paths 404 instead of silently serving the
+// index (the "/" pattern matches everything on a ServeMux).
+func TestIndexEndpoint(t *testing.T) {
+	status, body, ct := get(t, "/")
+	if status != 200 {
+		t.Fatalf("GET /: status %d", status)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("index Content-Type = %q", ct)
+	}
+	for _, e := range endpoints {
+		if !strings.Contains(string(body), e.path) {
+			t.Errorf("index missing endpoint %q:\n%s", e.path, body)
+		}
+	}
+	// Every path the index advertises must actually serve: anything but
+	// 404-with-the-not-found-body proves a handler is registered.
+	for _, e := range endpoints {
+		st, b, _ := get(t, e.path)
+		if st == 404 && strings.HasPrefix(string(b), "404 page not found") {
+			t.Errorf("advertised endpoint %q is not registered", e.path)
+		}
+	}
+	if st, _, _ := get(t, "/no-such-endpoint"); st != 404 {
+		t.Fatalf("GET /no-such-endpoint: status %d, want 404", st)
+	}
+}
+
+// TestAlertsEndpoint checks /debug/alerts serves the engine's live rule
+// statuses once the run has evaluated, and 404s on a fresh daemon.
+func TestAlertsEndpoint(t *testing.T) {
+	var a alertState
+	if err := json.Unmarshal(mustGet(t, "/debug/alerts"), &a); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Statuses) == 0 || len(a.Summary.Rules) == 0 {
+		t.Fatalf("empty alert state: %+v", a)
+	}
+	byName := map[string]obs.AlertStatus{}
+	for _, st := range a.Statuses {
+		byName[st.Rule] = st
+	}
+	// The canonical scenario's fio antagonist drives iowait deviation:
+	// the victim rule must at least have gone pending. (It rarely
+	// sustains to firing — the agent caps the antagonist well inside the
+	// rule's 15s hysteresis window, which is the system working.)
+	if _, ok := byName["victim-iowait-deviation-sustained"]; !ok {
+		t.Fatalf("victim-iowait rule missing from statuses: %v", a.Statuses)
+	}
+	sumByName := map[string]obs.RuleSummary{}
+	for _, r := range a.Summary.Rules {
+		sumByName[r.Rule] = r
+	}
+	if r := sumByName["victim-iowait-deviation-sustained"]; r.Pendings == 0 {
+		t.Errorf("victim-iowait rule never went pending: %+v", r)
+	}
+	// The decoys must not trip the false-cap watchdog: the agent only
+	// caps the true antagonist.
+	if wd, ok := byName["false-cap-watchdog"]; ok && wd.Firings > 0 {
+		t.Errorf("false-cap watchdog fired %d times: %+v", wd.Firings, wd)
+	}
+
+	fresh := httptest.NewServer(newDaemonServer(obs.NewRegistry(), obs.NewRing(8), nil).handler())
+	defer fresh.Close()
+	resp, err := fresh.Client().Get(fresh.URL + "/debug/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("fresh daemon /debug/alerts status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthEndpoint checks /debug/health serves the self-profiling
+// snapshot with the cluster and monitor phase timers populated, and
+// 404s when no health layer is attached.
+func TestHealthEndpoint(t *testing.T) {
+	var snap obs.HealthSnapshot
+	if err := json.Unmarshal(mustGet(t, "/debug/health"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]obs.PhaseStats{}
+	for _, p := range snap.Phases {
+		phases[p.Phase] = p
+	}
+	for _, want := range []string{"cluster.grant", "cluster.advance", "core.monitor"} {
+		p, ok := phases[want]
+		if !ok {
+			t.Errorf("health snapshot missing phase %q (got %v)", want, snap.Phases)
+			continue
+		}
+		if p.Calls == 0 {
+			t.Errorf("phase %q has zero calls", want)
+		}
+	}
+	if snap.ShardImbalance == nil {
+		t.Error("health snapshot missing shard imbalance")
+	}
+
+	fresh := httptest.NewServer(newDaemonServer(obs.NewRegistry(), obs.NewRing(8), nil).handler())
+	defer fresh.Close()
+	resp, err := fresh.Client().Get(fresh.URL + "/debug/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("no-health daemon /debug/health status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSameSeedRunsProduceIdenticalAlertStreams pins the alert engine's
+// determinism contract at the daemon level: two same-seed runs with the
+// default rule pack emit byte-identical alert events inside otherwise
+// byte-identical audit streams.
+func TestSameSeedRunsProduceIdenticalAlertStreams(t *testing.T) {
+	alertLines := func() []string {
+		var buf bytes.Buffer
+		sink := obs.NewJSONLSink(&buf)
+		err := run(runConfig{
+			Duration: 3 * time.Minute, Seed: 7, Events: sink, Log: io.Discard,
+			AlertRules: obs.DefaultRules(obs.DefaultRulesConfig{}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		sc := bufio.NewScanner(&buf)
+		for sc.Scan() {
+			var e obs.Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+			}
+			if e.Type == obs.EventAlert {
+				out = append(out, sc.Text())
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := alertLines(), alertLines()
+	if len(a) == 0 {
+		t.Fatal("no alert events in the audit stream")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("alert streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("alert streams diverge at event %d:\n  a: %s\n  b: %s", i+1, a[i], b[i])
+		}
 	}
 }
 

@@ -51,7 +51,12 @@ func main() {
 	phaseReport := flag.Bool("phase-report", false, "print per-job phase attribution and critical path")
 	phaseCSV := flag.Bool("phase-csv", false, "emit the phase tables as CSV instead of text")
 	scorecard := flag.Bool("scorecard", false, "grade cap decisions against ground truth and print the scorecard")
+	alerts := flag.Bool("alerts", false, "evaluate the default alert rules on sim time and print the summary")
+	alertsJSONL := flag.String("alerts-jsonl", "", "write the alert event stream as JSONL to this file (implies -alerts)")
 	flag.Parse()
+	if *alertsJSONL != "" {
+		*alerts = true
+	}
 
 	switch *stride {
 	case "on":
@@ -98,7 +103,48 @@ func main() {
 		cfg.PerfCloud.Events = col
 	}
 
+	// The alert engine consumes the control plane's audit stream (wired
+	// by core.Attach) and emits its own alert events into a dedicated
+	// sink set: the collector (if any) plus the -alerts-jsonl file, which
+	// therefore contains only alert events — the byte-compare artifact
+	// the alert-smoke CI job diffs across same-seed runs.
+	var alertEng *obs.AlertEngine
+	var alertFile *os.File
+	var alertSink *obs.JSONLSink
+	var tbRef *experiments.Testbed // set right after NewTestbed; the fast-path probe closes over it
+	if *alerts {
+		if cfg.PerfCloud == nil {
+			fmt.Fprintf(os.Stderr, "psim: -alerts needs a scheme that deploys PerfCloud (got %q)\n", *scheme)
+			os.Exit(2)
+		}
+		var out obs.MultiSink
+		if col != nil {
+			out = append(out, col)
+		}
+		if *alertsJSONL != "" {
+			f, err := os.Create(*alertsJSONL)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psim:", err)
+				os.Exit(1)
+			}
+			alertFile = f
+			alertSink = obs.NewJSONLSink(f)
+			out = append(out, alertSink)
+		}
+		alertEng = obs.NewAlertEngine(obs.DefaultRules(obs.DefaultRulesConfig{
+			FastPaths: func() obs.FastPathSnapshot {
+				if tbRef == nil {
+					return obs.FastPathSnapshot{}
+				}
+				return tbRef.Clus.FastPathStats()
+			},
+		}), out)
+		cfg.PerfCloud.Alerts = alertEng
+	}
+
 	tb := experiments.NewTestbed(cfg)
+	tbRef = tb
+	alertEng.SetGroundTruth(tb.Truth)
 	tb.MustInput("input", 640<<20)
 	for i := 0; i < *nfio; i++ {
 		tb.AddAntagonist(i%*servers, workloads.NewFioRandRead(
@@ -197,6 +243,24 @@ func main() {
 		sc := obs.Score(events, tb.Truth, tb.Eng.Clock().Seconds())
 		sc.Scheme = *scheme
 		fmt.Println("scorecard:", sc)
+	}
+
+	if *alerts {
+		if alertSink != nil {
+			if err := alertSink.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "psim:", err)
+				os.Exit(1)
+			}
+			if err := alertFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "psim:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("alerts:", alertEng.Summary())
+		for _, st := range alertEng.Statuses() {
+			fmt.Printf("  %-34s %-8s value %.2f threshold %.2f fired %d\n",
+				st.Rule, st.State, st.Value, st.Threshold, st.Firings)
+		}
 	}
 
 	if tb.Sys != nil {

@@ -784,6 +784,15 @@ type Cluster struct {
 	// statShardSkips counts shards skipped wholesale — per tick, per
 	// shard whose every server was inactive.
 	statShardSkips uint64
+
+	// Engine self-profiling (wall-clock, non-deterministic, never in sim
+	// outputs): sampled phase timers for the grant fan-out, the advance
+	// sweep and stride replay. Nil — one branch per phase — until
+	// SetHealth attaches a health layer.
+	health   *obs.Health
+	tGrant   *obs.PhaseTimer
+	tAdvance *obs.PhaseTimer
+	tStride  *obs.PhaseTimer
 }
 
 // defaultTickWorkers is the package-wide worker default for clusters that
@@ -942,6 +951,18 @@ func (c *Cluster) StrideEnabled() bool {
 		return false
 	}
 	return !defaultStrideOff.Load()
+}
+
+// SetHealth attaches an engine self-profiling layer: sampled wall-clock
+// timers around the grant fan-out, the advance sweep and stride replay.
+// The timers measure the simulator's own execution — they never touch
+// simulation state or outputs — and nil detaches them, restoring the
+// single-branch no-op fast path.
+func (c *Cluster) SetHealth(h *obs.Health) {
+	c.health = h
+	c.tGrant = h.Timer("cluster.grant")
+	c.tAdvance = h.Timer("cluster.advance")
+	c.tStride = h.Timer("cluster.stride")
 }
 
 // AddServer creates a server with the given id and configuration.
@@ -1178,12 +1199,16 @@ func (c *Cluster) flatTick(tickSec float64, quiesce, reuse bool) {
 		// sweep below sees ordinary quiescent servers.
 		c.wakeAll(c.ticks)
 	}
+	tg := c.tGrant.Begin()
 	sim.ForEachShared(len(c.servers), c.TickWorkers(), func(i int) {
 		c.servers[i].grantPhase(tickSec, quiesce, reuse)
 	})
+	c.tGrant.End(tg)
+	ta := c.tAdvance.Begin()
 	for _, s := range c.servers {
 		s.advancePhase(tickSec)
 	}
+	c.tAdvance.End(ta)
 }
 
 // Stride fast-forwards the cluster through up to max upcoming ticks whose
@@ -1209,6 +1234,7 @@ func (c *Cluster) Stride(clk *sim.Clock, max int64, sync func(nowSec float64), s
 		return 0
 	}
 	c.statHorizonRecomputes++
+	ts := c.tStride.Begin()
 	var n int64
 	for n < max {
 		sync(clk.PeekSeconds(n))
@@ -1219,5 +1245,6 @@ func (c *Cluster) Stride(clk *sim.Clock, max int64, sync func(nowSec float64), s
 			break
 		}
 	}
+	c.tStride.End(ts)
 	return n
 }

@@ -359,13 +359,16 @@ func (c *Cluster) shardedTick(tickSec float64, quiesce, reuse bool) {
 	c.statShardSkips += uint64(len(c.shards) - len(c.liveShards))
 	workers := c.TickWorkers()
 	live := c.liveShards
+	tg := c.tGrant.Begin()
 	sim.ForEachShared(len(live), workers, func(k int) {
 		c.grantShard(&c.shards[live[k]], tickSec, quiesce, reuse, workers)
 	})
+	c.tGrant.End(tg)
 	// The advance sweep revisits exactly the servers the grant fan-out
 	// gathered (wakes only queue until the next tick boundary), so it
 	// walks the live shards' scratch lists — ascending shard and server
 	// index, i.e. creation order — instead of rescanning the bitset.
+	ta := c.tAdvance.Begin()
 	for _, si := range live {
 		for _, i := range c.shards[si].scratch {
 			s := c.servers[i]
@@ -375,6 +378,7 @@ func (c *Cluster) shardedTick(tickSec float64, quiesce, reuse bool) {
 			}
 		}
 	}
+	c.tAdvance.End(ta)
 }
 
 // grantShard gathers the shard's active servers from the bitset and runs

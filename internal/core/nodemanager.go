@@ -55,6 +55,16 @@ type Config struct {
 	// only nil checks when they are.
 	Metrics *obs.Registry
 	Events  obs.Sink
+	// Alerts, when non-nil, is the deterministic rule engine Attach wires
+	// in: it consumes the same audit-event stream the Events sink sees and
+	// is evaluated on sim time by a dedicated ticker registered after the
+	// managers, so same-seed runs emit byte-identical alert streams. Nil —
+	// the default — costs nothing.
+	Alerts *obs.AlertEngine
+	// Health, when non-nil, attaches the wall-clock self-profiling layer
+	// (sampled phase timers; explicitly non-deterministic and kept out of
+	// sim outputs). Nil costs one branch per control interval.
+	Health *obs.Health
 }
 
 // DefaultConfig returns the paper's settings.
@@ -157,6 +167,10 @@ type NodeManager struct {
 	events obs.Sink
 	inst   nmInstruments
 	capIDs []string
+
+	// tMonitor is the control interval's wall-clock phase timer (nil — a
+	// single branch per interval — without a health layer).
+	tMonitor *obs.PhaseTimer
 }
 
 // nmInstruments holds one node manager's registered metrics. The zero
@@ -240,6 +254,7 @@ func NewNodeManager(cfg Config, cm *cloud.Manager, hv *hypervisor.Hypervisor) *N
 		events:       cfg.Events,
 	}
 	nm.inst.register(cfg.Metrics, hv.ServerID())
+	nm.tMonitor = cfg.Health.Timer("core.monitor")
 	return nm
 }
 
@@ -271,7 +286,9 @@ func (nm *NodeManager) Tick(c *sim.Clock) {
 		return
 	}
 	nm.nextSample = now + nm.cfg.IntervalSec
+	tm := nm.tMonitor.Begin()
 	nm.runInterval(now)
+	nm.tMonitor.End(tm)
 }
 
 // runInterval executes one round of Algorithm 1.

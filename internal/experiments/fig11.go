@@ -208,6 +208,9 @@ type MixOutcome struct {
 	// Score grades the run's cap decisions against ground truth; nil
 	// unless scorecards are enabled (SetScorecards).
 	Score *obs.Scorecard
+	// Alerts summarises the run's alert-rule activity; nil unless rules
+	// are installed (SetAlertRules) and the scheme deploys PerfCloud.
+	Alerts *obs.AlertSummary
 }
 
 // runMix executes the mix under one scheme, optionally with antagonists.
@@ -218,10 +221,16 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 	}
 	tr := newRunTracer()
 	scoring := scorecardsOn()
+	rules := alertRules()
 	var col *obs.Collector
-	if pc != nil && (tr != nil || scoring) {
+	if pc != nil && (tr != nil || scoring || len(rules) > 0) {
 		col = obs.NewCollector()
 		pc.Events = col
+	}
+	var alerts *obs.AlertEngine
+	if pc != nil && len(rules) > 0 {
+		alerts = obs.NewAlertEngine(rules, col)
+		pc.Alerts = alerts
 	}
 	tb := NewTestbed(TestbedConfig{
 		Seed:             cfg.Seed,
@@ -231,6 +240,7 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 		PerfCloud:  pc,
 		Tracer:     tr,
 	})
+	alerts.SetGroundTruth(tb.Truth)
 	specs := generateMix(cfg)
 	// One input file per distinct map count keeps DFS setup cheap.
 	sizes := map[int]bool{}
@@ -287,6 +297,7 @@ func runMix(cfg LargeScaleConfig, sch Scheme, withAntagonists bool) MixOutcome {
 	if scoring && withAntagonists {
 		out.Score = scoreRun(tb, col, sch.Name, now)
 	}
+	out.Alerts = alertSummaryFor(alerts)
 	if tr != nil {
 		out.Phases = tr.Totals()
 		name := "fig11-" + sch.Name
@@ -403,6 +414,9 @@ type Fig11Row struct {
 	// Score is the scheme's detection scorecard (only on the "all" row,
 	// and only when scorecards are enabled via SetScorecards).
 	Score *obs.Scorecard
+	// Alerts is the scheme's alert-rule summary (only on the "all" row,
+	// and only when rules are installed via SetAlertRules).
+	Alerts *obs.AlertSummary
 }
 
 // Fig11Result reproduces Figure 11: the per-framework job-performance
@@ -493,6 +507,7 @@ func Fig11With(cfg LargeScaleConfig, schemes []Scheme) Fig11Result {
 					}
 					row.Score = &sc
 				}
+				row.Alerts = out.Alerts
 			}
 			res.Rows = append(res.Rows, *row)
 		}
@@ -537,6 +552,20 @@ func (r Fig11Result) ScorecardTable() *trace.Table {
 		}
 	}
 	return scorecardTable("Fig 11 scorecards: cap decisions vs ground truth", cards)
+}
+
+// AlertTable renders the per-scheme alert summaries (empty unless the
+// run had rules installed via SetAlertRules).
+func (r Fig11Result) AlertTable() *trace.Table {
+	var schemes []string
+	var sums []*obs.AlertSummary
+	for _, row := range r.Rows {
+		if row.Framework == "all" {
+			schemes = append(schemes, row.Scheme)
+			sums = append(sums, row.Alerts)
+		}
+	}
+	return alertTable("Fig 11 alerts: rule firings per scheme", schemes, sums)
 }
 
 // Row returns the named scheme's aggregate ("all") row.

@@ -52,6 +52,9 @@ type Fig12Row struct {
 	// Score merges the repetitions' detection scorecards; nil unless
 	// scorecards are enabled (SetScorecards).
 	Score *obs.Scorecard
+	// Alerts merges the repetitions' alert summaries; nil unless rules
+	// are installed (SetAlertRules) and the scheme deploys PerfCloud.
+	Alerts *obs.AlertSummary
 }
 
 // Fig12Result reproduces Figure 12: JCT variability across repeated runs
@@ -81,15 +84,18 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	jcts := make([][][]float64, len(workloads))
 	phases := make([][][]trace.PhaseTotals, len(workloads))
 	scores := make([][][]*obs.Scorecard, len(workloads))
+	alerts := make([][][]*obs.AlertSummary, len(workloads))
 	for wi := range workloads {
 		jobs = append(jobs, job{wi: wi, si: -1})
 		jcts[wi] = make([][]float64, len(schemes))
 		phases[wi] = make([][]trace.PhaseTotals, len(schemes))
 		scores[wi] = make([][]*obs.Scorecard, len(schemes))
+		alerts[wi] = make([][]*obs.AlertSummary, len(schemes))
 		for si := range schemes {
 			jcts[wi][si] = make([]float64, cfg.Runs)
 			phases[wi][si] = make([]trace.PhaseTotals, cfg.Runs)
 			scores[wi][si] = make([]*obs.Scorecard, cfg.Runs)
+			alerts[wi][si] = make([]*obs.AlertSummary, cfg.Runs)
 			for run := 0; run < cfg.Runs; run++ {
 				jobs = append(jobs, job{wi: wi, si: si, run: run})
 			}
@@ -98,11 +104,11 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 	forEachRun(len(jobs), func(k int) {
 		j := jobs[k]
 		if j.si < 0 {
-			base[j.wi], _, _ = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false,
+			base[j.wi], _, _, _ = fig12Run(cfg, cfg.Seed, workloads[j.wi], SchemeDefault(), false,
 				fmt.Sprintf("fig12-%s-baseline", workloads[j.wi]))
 			return
 		}
-		jcts[j.wi][j.si][j.run], phases[j.wi][j.si][j.run], scores[j.wi][j.si][j.run] = fig12Run(
+		jcts[j.wi][j.si][j.run], phases[j.wi][j.si][j.run], scores[j.wi][j.si][j.run], alerts[j.wi][j.si][j.run] = fig12Run(
 			cfg, cfg.Seed+int64(j.run)*997, workloads[j.wi], schemes[j.si], true,
 			fmt.Sprintf("fig12-%s-%s-run%02d", workloads[j.wi], schemes[j.si].Name, j.run))
 	})
@@ -112,6 +118,7 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 			var norm []float64
 			var pt trace.PhaseTotals
 			var merged *obs.Scorecard
+			var mergedAlerts *obs.AlertSummary
 			for run, jct := range jcts[wi][si] {
 				norm = append(norm, jct/base[wi])
 				pt.Add(phases[wi][si][run])
@@ -121,6 +128,14 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 						merged = &cp
 					} else {
 						merged.Merge(*sc)
+					}
+				}
+				if as := alerts[wi][si][run]; as != nil {
+					if mergedAlerts == nil {
+						cp := *as
+						mergedAlerts = &cp
+					} else {
+						mergedAlerts.Merge(*as)
 					}
 				}
 			}
@@ -139,6 +154,7 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 				Summary:  summary,
 				Phases:   pt,
 				Score:    merged,
+				Alerts:   mergedAlerts,
 			})
 		}
 	}
@@ -146,19 +162,26 @@ func Fig12With(cfg VariabilityConfig, schemes []Scheme) Fig12Result {
 }
 
 // fig12Run executes one repetition, returning the logical JCT, the
-// repetition's phase totals (zero when tracing is off) and its
-// detection scorecard (nil when scorecards are off).
-func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool, traceName string) (float64, trace.PhaseTotals, *obs.Scorecard) {
+// repetition's phase totals (zero when tracing is off), its detection
+// scorecard (nil when scorecards are off) and its alert summary (nil
+// when no rules are installed).
+func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, antagonists bool, traceName string) (float64, trace.PhaseTotals, *obs.Scorecard, *obs.AlertSummary) {
 	var pc *core.Config
 	if sch.PerfCloud {
 		pc = ControllerConfig()
 	}
 	tr := newRunTracer()
 	scoring := scorecardsOn()
+	rules := alertRules()
 	var col *obs.Collector
-	if pc != nil && (tr != nil || scoring) {
+	if pc != nil && (tr != nil || scoring || len(rules) > 0) {
 		col = obs.NewCollector()
 		pc.Events = col
+	}
+	var eng *obs.AlertEngine
+	if pc != nil && len(rules) > 0 {
+		eng = obs.NewAlertEngine(rules, col)
+		pc.Alerts = eng
 	}
 	tb := NewTestbed(TestbedConfig{
 		Seed:             seed,
@@ -169,6 +192,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		BlockBytes:       mixBlockBytes,
 		Tracer:           tr,
 	})
+	eng.SetGroundTruth(tb.Truth)
 	inputBytes := float64(cfg.Tasks) * mixBlockBytes
 	tb.MustInput("input", inputBytes)
 	if antagonists {
@@ -192,7 +216,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		}
 		return a
 	}
-	finish := func(jct float64) (float64, trace.PhaseTotals, *obs.Scorecard) {
+	finish := func(jct float64) (float64, trace.PhaseTotals, *obs.Scorecard, *obs.AlertSummary) {
 		var pt trace.PhaseTotals
 		if tr != nil {
 			pt = tr.Totals()
@@ -206,7 +230,7 @@ func fig12Run(cfg VariabilityConfig, seed int64, workload string, sch Scheme, an
 		if scoring && antagonists {
 			sc = scoreRun(tb, col, sch.Name, tb.Eng.Clock().Seconds())
 		}
-		return jct, pt, sc
+		return jct, pt, sc, alertSummaryFor(eng)
 	}
 	if sch.Clones <= 1 {
 		c := submit()
@@ -245,6 +269,18 @@ func (r Fig12Result) ScorecardTable() *trace.Table {
 		cards = append(cards, row.Score)
 	}
 	return scorecardTable("Fig 12 scorecards: cap decisions vs ground truth (merged over repetitions)", cards)
+}
+
+// AlertTable renders the merged per-row alert summaries (empty unless
+// the run had rules installed via SetAlertRules).
+func (r Fig12Result) AlertTable() *trace.Table {
+	var schemes []string
+	var sums []*obs.AlertSummary
+	for _, row := range r.Rows {
+		schemes = append(schemes, row.Workload+"/"+row.Scheme)
+		sums = append(sums, row.Alerts)
+	}
+	return alertTable("Fig 12 alerts: rule firings per scheme (merged over repetitions)", schemes, sums)
 }
 
 // Row returns the named (workload, scheme) row.

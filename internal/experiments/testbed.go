@@ -148,6 +148,17 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	tb.Eng.RegisterPriority(tb.Driver, -1)
 	tb.Eng.RegisterPriority(tb.Clus, 0)
 	tb.Eng.RegisterPriority(tb.Dolly, 1)
+	if h := healthRef(); h != nil {
+		// Engine self-profiling (wall-clock, never in sim outputs): the
+		// cluster's phase timers attach here; the node managers pick the
+		// layer up through their config unless one was set explicitly.
+		tb.Clus.SetHealth(h)
+		if cfg.PerfCloud != nil && cfg.PerfCloud.Health == nil {
+			pc := *cfg.PerfCloud
+			pc.Health = h
+			cfg.PerfCloud = &pc
+		}
+	}
 	if cfg.PerfCloud != nil {
 		tb.Sys = core.Attach(tb.Eng, tb.Clus, tb.CM, *cfg.PerfCloud)
 	}

@@ -35,6 +35,9 @@ const (
 	// EventFastPaths is a periodic snapshot of the simulation's
 	// fast-path accounting (quiescence, demand reuse, allocator memos).
 	EventFastPaths EventType = "fastpaths"
+	// EventAlert is one alert-rule lifecycle transition (pending, firing
+	// or resolved) from the deterministic rule engine (DESIGN.md §5.9).
+	EventAlert EventType = "alert"
 )
 
 // SuspectCorr is one suspect's Pearson coefficients against the victim
@@ -152,6 +155,15 @@ type Event struct {
 
 	// FastPaths payload.
 	Fast *FastPathSnapshot `json:"fastpaths,omitempty"`
+
+	// Alert payload: the rule name, the lifecycle state entered
+	// ("pending", "firing" or "resolved"), the evaluated value against
+	// its threshold, and when the condition first became true.
+	Rule        string  `json:"rule,omitempty"`
+	State       string  `json:"state,omitempty"`
+	Value       float64 `json:"value,omitempty"`
+	Threshold   float64 `json:"threshold,omitempty"`
+	ActiveSince float64 `json:"active_since,omitempty"`
 }
 
 // Sink consumes events. Implementations must tolerate being called from

@@ -222,6 +222,37 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 	return s.hist
 }
 
+// Value reads the current value of a registered instrument without
+// creating it: counters and gauges report their value, histograms their
+// observation count. The second return is false when the family or the
+// labelled series does not exist (or the registry is nil) — how the
+// alert engine evaluates metric rules without mutating the registry.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := f.byKey[key]
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value()), true
+	case s.gauge != nil:
+		return s.gauge.Value(), true
+	case s.hist != nil:
+		return float64(s.hist.Count()), true
+	}
+	return 0, false
+}
+
 // family returns the registered family (registry lock must be held by
 // the caller chain; used only right after lookup, which registers it).
 func (r *Registry) family(name string) *family {

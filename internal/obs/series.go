@@ -104,6 +104,17 @@ func (s *Series) lastLocked() (SeriesPoint, bool) {
 	return s.buf[i], true
 }
 
+// Last returns the newest retained point, or false on an empty (or nil)
+// series — the read primitive alert rules evaluate series against.
+func (s *Series) Last() (SeriesPoint, bool) {
+	if s == nil {
+		return SeriesPoint{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLocked()
+}
+
 // Points returns the retained points, oldest first.
 func (s *Series) Points() []SeriesPoint {
 	if s == nil {
@@ -221,6 +232,22 @@ func (r *SeriesRegistry) Series(name string, labels ...Label) *Series {
 		r.byKey[key] = s
 	}
 	return s
+}
+
+// Lookup returns the series for name+labels without creating it, or nil
+// when it was never registered — how read-only consumers (alert rules)
+// probe the registry without growing it.
+func (r *SeriesRegistry) Lookup(name string, labels ...Label) *Series {
+	if r == nil {
+		return nil
+	}
+	key := name
+	if ls := renderLabels(labels); ls != "" {
+		key += "{" + ls + "}"
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKey[key]
 }
 
 // Keys returns the registered series keys (name{labels}), sorted.

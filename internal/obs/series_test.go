@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -238,5 +239,96 @@ func TestRollupSink(t *testing.T) {
 		if strings.Contains(k, `server=`) {
 			t.Fatalf("rollup sink created a per-server series: %v", r.Keys())
 		}
+	}
+}
+
+// TestSeriesWrappedRingReads pins Since and Downsample behaviour after
+// the ring has wrapped: reads must see the retained window in time
+// order, not the raw buffer order.
+func TestSeriesWrappedRingReads(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 10; i++ { // retains t=6..9, buffer physically rotated
+		s.Append(float64(i), float64(i*10))
+	}
+	pts := s.Points()
+	if len(pts) != 4 || pts[0].T != 6 || pts[3].T != 9 {
+		t.Fatalf("wrapped Points() = %v", pts)
+	}
+
+	// Since on the wrapped window: strictly-after semantics hold across
+	// the physical seam.
+	if got := s.Since(7); len(got) != 2 || got[0].T != 8 || got[1].T != 9 {
+		t.Fatalf("Since(7) on wrapped ring = %v", got)
+	}
+	// A cutoff older than the retained window returns everything...
+	if got := s.Since(2); len(got) != 4 {
+		t.Fatalf("Since(2) = %v, want all 4 retained points", got)
+	}
+	// ...and one at-or-past the newest point returns nothing (strictly
+	// after).
+	if got := s.Since(9); len(got) != 0 {
+		t.Fatalf("Since(9) = %v, want empty", got)
+	}
+
+	// Downsample on the wrapped window: 2 buckets of 2, each reporting
+	// its max value and last timestamp.
+	ds := s.Downsample(2)
+	want := []SeriesPoint{{T: 7, V: 70}, {T: 9, V: 90}}
+	if !reflect.DeepEqual(ds, want) {
+		t.Fatalf("Downsample(2) on wrapped ring = %v, want %v", ds, want)
+	}
+}
+
+// TestSeriesDownsampleDegenerateN: n <= 0 and n >= len both return the
+// points unchanged rather than panicking or truncating.
+func TestSeriesDownsampleDegenerateN(t *testing.T) {
+	s := NewSeries(8)
+	for i := 0; i < 5; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	all := s.Points()
+	for _, n := range []int{0, -1, -100, 5, 6, 1000} {
+		if got := s.Downsample(n); !reflect.DeepEqual(got, all) {
+			t.Errorf("Downsample(%d) = %v, want all %d points unchanged", n, got, len(all))
+		}
+	}
+}
+
+// TestSeriesEmptyReads: every read primitive is well-defined on a
+// freshly created (never appended) series.
+func TestSeriesEmptyReads(t *testing.T) {
+	s := NewSeries(4)
+	if _, ok := s.Last(); ok {
+		t.Error("Last() ok on empty series")
+	}
+	if got := s.Points(); len(got) != 0 {
+		t.Errorf("Points() = %v on empty series", got)
+	}
+	if got := s.Since(0); len(got) != 0 {
+		t.Errorf("Since(0) = %v on empty series", got)
+	}
+	if got := s.Downsample(3); len(got) != 0 {
+		t.Errorf("Downsample(3) = %v on empty series", got)
+	}
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Errorf("Len/Total = %d/%d on empty series", s.Len(), s.Total())
+	}
+}
+
+// TestSeriesTotalCountsLoss: after wraparound, Total keeps counting
+// evicted points so a scraper can detect it has missed data.
+func TestSeriesTotalCountsLoss(t *testing.T) {
+	s := NewSeries(3)
+	for i := 0; i < 7; i++ {
+		s.Append(float64(i), 0)
+	}
+	if s.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", s.Total())
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if lost := s.Total() - uint64(s.Len()); lost != 4 {
+		t.Fatalf("computed loss = %d, want 4", lost)
 	}
 }

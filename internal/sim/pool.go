@@ -23,6 +23,14 @@ type SlotPool struct {
 	capacity int64
 	used     atomic.Int64
 	peak     atomic.Int64
+
+	// Contention accounting for the health layer: how often callers asked
+	// for slots, how often they were turned away empty-handed, and how
+	// many slots were granted in total. Updated once per fan-out, not per
+	// iteration, so the counters cost nothing on the simulation hot path.
+	tryAcquires atomic.Uint64
+	denied      atomic.Uint64
+	granted     atomic.Uint64
 }
 
 // NewSlotPool creates a pool with the given number of slots. Capacity 0
@@ -40,10 +48,12 @@ func (p *SlotPool) TryAcquire(want int) int {
 	if want <= 0 {
 		return 0
 	}
+	p.tryAcquires.Add(1)
 	for {
 		used := p.used.Load()
 		free := p.capacity - used
 		if free <= 0 {
+			p.denied.Add(1)
 			return 0
 		}
 		n := int64(want)
@@ -52,6 +62,7 @@ func (p *SlotPool) TryAcquire(want int) int {
 		}
 		if p.used.CompareAndSwap(used, used+n) {
 			p.notePeak(used + n)
+			p.granted.Add(uint64(n))
 			return int(n)
 		}
 	}
@@ -78,6 +89,34 @@ func (p *SlotPool) PeakInUse() int { return int(p.peak.Load()) }
 
 // ResetPeak clears the high-water mark (down to the current usage).
 func (p *SlotPool) ResetPeak() { p.peak.Store(p.used.Load()) }
+
+// PoolStats is a snapshot of the pool's capacity and contention
+// counters, for the health layer.
+type PoolStats struct {
+	Capacity int
+	InUse    int
+	Peak     int
+	// TryAcquires counts TryAcquire calls with want > 0; Denied counts
+	// those that returned 0 because the pool was drained; GrantedSlots
+	// sums the slots handed out.
+	TryAcquires  uint64
+	Denied       uint64
+	GrantedSlots uint64
+}
+
+// Stats snapshots the pool (counters are read independently, so a
+// snapshot taken mid-fan-out may be momentarily inconsistent — fine for
+// health reporting).
+func (p *SlotPool) Stats() PoolStats {
+	return PoolStats{
+		Capacity:     p.Capacity(),
+		InUse:        p.InUse(),
+		Peak:         p.PeakInUse(),
+		TryAcquires:  p.tryAcquires.Load(),
+		Denied:       p.denied.Load(),
+		GrantedSlots: p.granted.Load(),
+	}
+}
 
 func (p *SlotPool) notePeak(used int64) {
 	for {
